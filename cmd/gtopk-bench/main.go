@@ -1,0 +1,70 @@
+// Command gtopk-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gtopk-bench -list                 # enumerate experiments
+//	gtopk-bench -exp fig9             # regenerate one artifact
+//	gtopk-bench -all                  # regenerate everything
+//	gtopk-bench -exp fig5 -quick      # smoke-test profile
+//
+// Output is text tables: one row per x-axis point of the original plot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"gtopkssgd/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id to run (see -list)")
+		list  = flag.Bool("list", false, "list available experiments")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "shrink training experiments to smoke-test size")
+		seed  = flag.Uint64("seed", 42, "random seed for all experiments")
+	)
+	flag.Parse()
+	if err := run(*expID, *list, *all, *quick, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "gtopk-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expID string, list, all, quick bool, seed uint64) error {
+	opt := bench.Options{Quick: quick, Seed: seed}
+	switch {
+	case list:
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Description)
+		}
+		return nil
+	case all:
+		for _, e := range bench.Experiments() {
+			fmt.Printf("==== %s: %s ====\n\n", e.ID, e.Description)
+			out, err := e.Run(context.Background(), opt)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Println(out)
+		}
+		return nil
+	case expID != "":
+		e, err := bench.Lookup(expID)
+		if err != nil {
+			return err
+		}
+		out, err := e.Run(context.Background(), opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -exp, -list or -all is required")
+	}
+}

@@ -1,0 +1,72 @@
+// Command gtopk-p2p reproduces Fig. 8: point-to-point transfer time
+// versus message size under the α-β model, with jittered "measured"
+// samples next to the predicted line. It can also measure the real
+// loopback-TCP fabric for comparison.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gtopkssgd/internal/bench"
+	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/transport"
+)
+
+func main() {
+	var (
+		reps = flag.Int("reps", 5, "samples per message size")
+		seed = flag.Uint64("seed", 42, "random seed for link jitter")
+		real = flag.Bool("real", false, "also measure the loopback TCP fabric")
+	)
+	flag.Parse()
+	fmt.Println(bench.Fig8(netsim.Paper1GbE(), *reps, *seed))
+	if *real {
+		if err := measureTCP(); err != nil {
+			fmt.Fprintln(os.Stderr, "gtopk-p2p:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// measureTCP times real loopback round trips for context (loopback is
+// orders of magnitude faster than 1GbE; this is a plumbing check, not a
+// reproduction of the paper's numbers).
+func measureTCP() error {
+	f, err := transport.NewTCP(2)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ctx := context.Background()
+	fmt.Println("\nReal loopback TCP round-trip times (plumbing check):")
+	go func() {
+		for {
+			msg, err := f.Conn(1).Recv(ctx, 0, 1)
+			if err != nil {
+				return
+			}
+			if err := f.Conn(1).Send(ctx, 0, 2, msg); err != nil {
+				return
+			}
+		}
+	}()
+	for _, n := range []int{1024, 65536, 1048576} {
+		payload := make([]byte, n)
+		start := time.Now()
+		const rounds = 20
+		for i := 0; i < rounds; i++ {
+			if err := f.Conn(0).Send(ctx, 1, 1, payload); err != nil {
+				return err
+			}
+			if _, err := f.Conn(0).Recv(ctx, 1, 2); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  %8d bytes: %v per round trip\n", n, time.Since(start)/rounds)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+// Command gtopk-worker runs ONE rank of a genuinely multi-process
+// distributed training job over TCP. Launch one process per rank with
+// the same address list:
+//
+//	gtopk-worker -rank 0 -addrs 127.0.0.1:7000,127.0.0.1:7001 &
+//	gtopk-worker -rank 1 -addrs 127.0.0.1:7000,127.0.0.1:7001 &
+//
+// All ranks train the same model with identical seeds; the aggregation
+// algorithm keeps replicas bit-identical, which rank 0 reports at the
+// end. Optional checkpointing (-checkpoint) saves the full training
+// state (weights, momentum, error-feedback residual) and resumes from it
+// when the file exists.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gtopkssgd/internal/checkpoint"
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/data"
+	"gtopkssgd/internal/nn/models"
+	"gtopkssgd/internal/trace"
+	"gtopkssgd/internal/transport"
+)
+
+func main() {
+	var (
+		rank     = flag.Int("rank", 0, "this worker's rank")
+		addrList = flag.String("addrs", "", "comma-separated host:port per rank")
+		algo     = flag.String("algo", "gtopk", "dense|topk|gtopk")
+		steps    = flag.Int("steps", 50, "training steps")
+		batch    = flag.Int("batch", 16, "mini-batch size per worker")
+		density  = flag.Float64("density", 0.01, "gradient density rho")
+		lr       = flag.Float64("lr", 0.05, "learning rate")
+		seed     = flag.Uint64("seed", 42, "shared model/data seed")
+		ckptPath = flag.String("checkpoint", "", "checkpoint file (resume if present, save at end)")
+		traceCSV = flag.String("trace", "", "write per-iteration phase timings CSV to this file")
+		timeout  = flag.Duration("timeout", 60*time.Second, "mesh setup + training deadline")
+	)
+	flag.Parse()
+	if err := run(*rank, *addrList, *algo, *steps, *batch, *density, *lr, *seed, *ckptPath, *traceCSV, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "gtopk-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rank int, addrList, algo string, steps, batch int, density, lr float64,
+	seed uint64, ckptPath, traceCSV string, timeout time.Duration) error {
+	addrs := strings.Split(addrList, ",")
+	if addrList == "" || len(addrs) < 1 {
+		return fmt.Errorf("need -addrs with one host:port per rank")
+	}
+	workers := len(addrs)
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	conn, err := transport.NewTCPWorker(ctx, rank, addrs)
+	if err != nil {
+		return fmt.Errorf("join mesh: %w", err)
+	}
+	defer conn.Close() //nolint:errcheck // process exit follows
+
+	comm := collective.New(conn)
+	ds, err := data.NewImages(seed+1, 10, 3, 8, 8, 0.4)
+	if err != nil {
+		return err
+	}
+	cls := models.MLP(ds.Dim(), 64, 10)
+	cls.Net.Init(seed)
+	dim := cls.Net.ParamCount()
+
+	var (
+		agg core.Aggregator
+		sp  *core.Sparsifier
+	)
+	k := core.DensityToK(dim, density)
+	switch algo {
+	case "dense":
+		agg = core.NewDenseAggregator(comm, dim)
+	case "topk":
+		a, err := core.NewTopKAggregator(comm, dim, k)
+		if err != nil {
+			return err
+		}
+		agg, sp = a, a.Sparsifier()
+	case "gtopk":
+		a, err := core.NewGTopKAggregator(comm, dim, k)
+		if err != nil {
+			return err
+		}
+		agg, sp = a, a.Sparsifier()
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	trainer, err := core.NewTrainer(core.TrainConfig{LR: float32(lr), Momentum: 0.9},
+		agg, cls.Net.Parameters(), models.GradFn(cls, ds, rank, workers, batch))
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder()
+	if traceCSV != "" {
+		trainer.SetPhaseHook(func(iter int, pt core.PhaseTimes) {
+			rec.Record(iter, trace.PhaseCompute, pt.Compute)
+			rec.Record(iter, trace.PhaseAggregate, pt.Aggregate)
+			rec.Record(iter, trace.PhaseUpdate, pt.Update)
+		})
+	}
+
+	// Resume if a checkpoint exists.
+	if ckptPath != "" {
+		if st, err := checkpoint.LoadFile(ckptPath); err == nil {
+			copy(cls.Net.Parameters(), st.Weights)
+			if err := trainer.Restore(int(st.Iter), st.Velocity); err != nil {
+				return fmt.Errorf("restore: %w", err)
+			}
+			if sp != nil {
+				if err := sp.RestoreResidual(st.Residual); err != nil {
+					return fmt.Errorf("restore residual: %w", err)
+				}
+			}
+			fmt.Printf("rank %d: resumed from %s at iteration %d\n", rank, ckptPath, st.Iter)
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "rank %d: ignoring unreadable checkpoint: %v\n", rank, err)
+		}
+	}
+
+	var lastLoss float64
+	for s := 0; s < steps; s++ {
+		loss, err := trainer.Step(ctx)
+		if err != nil {
+			return fmt.Errorf("step %d: %w", s, err)
+		}
+		lastLoss = loss
+		if rank == 0 && (s%10 == 0 || s == steps-1) {
+			fmt.Printf("iter %4d  loss %.4f\n", trainer.Iter(), loss)
+		}
+	}
+
+	if ckptPath != "" {
+		st := &checkpoint.State{
+			Iter:     uint64(trainer.Iter()),
+			Weights:  cls.Net.Parameters(),
+			Velocity: trainer.Velocity(),
+			Meta:     map[string]string{"algo": algo, "model": "mlp"},
+		}
+		if sp != nil {
+			st.Residual = sp.Residual()
+		}
+		if err := checkpoint.SaveFile(ckptPath, st); err != nil {
+			return err
+		}
+		fmt.Printf("rank %d: checkpoint saved to %s\n", rank, ckptPath)
+	}
+	if traceCSV != "" {
+		f, err := os.Create(traceCSV)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			f.Close() //nolint:errcheck // error path
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	// Replica-consistency check: everyone agrees on a weight digest.
+	digest := []float32{checksum(cls.Net.Parameters())}
+	if err := comm.RingAllReduceSum(ctx, digest); err != nil {
+		return err
+	}
+	if rank == 0 {
+		expected := checksum(cls.Net.Parameters()) * float32(workers)
+		status := "CONSISTENT"
+		if digest[0] != expected {
+			status = "DIVERGED"
+		}
+		fmt.Printf("final loss %.4f; replicas %s across %d workers\n", lastLoss, status, workers)
+	}
+	return nil
+}
+
+// checksum folds a weight vector into one float (order-dependent, which
+// is what we want: replicas must match element-wise).
+func checksum(w []float32) float32 {
+	var s float32
+	for i, v := range w {
+		s += v * float32(i%97+1)
+	}
+	return s
+}

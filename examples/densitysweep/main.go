@@ -1,0 +1,50 @@
+// Densitysweep: reproduce the paper's Fig. 12 sensitivity study — how the
+// gradient density ρ affects gTop-k convergence — on the CPU-scaled
+// ResNet-20 analogue with four workers.
+//
+// Run with:
+//
+//	go run ./examples/densitysweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"gtopkssgd/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	densities := []float64{0.01, 0.001, 0.0005, 0.0001}
+	fmt.Println("gTop-k convergence vs density (resnet20sim, P=4, 8 epochs)")
+	fmt.Println()
+
+	var curves []*bench.TrainCurve
+	for _, rho := range densities {
+		spec := bench.TrainSpec{
+			Model: "resnet20sim", Algo: "gtopk",
+			Workers: 4, Batch: 16,
+			Epochs: 8, ItersPerEpoch: 15,
+			Density: rho,
+			LR:      0.05, Momentum: 0.9,
+			Seed: 42,
+		}
+		curve, err := bench.RunTraining(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		curve.Spec.Algo = fmt.Sprintf("rho=%g", rho)
+		curves = append(curves, curve)
+	}
+	fmt.Println(bench.CurveTable("training loss per epoch", curves))
+	fmt.Println("Lower densities trade convergence speed for bandwidth; very low rho")
+	fmt.Println("still converges thanks to error-feedback residual accumulation.")
+	return nil
+}

@@ -1,0 +1,157 @@
+package gtopkssgd
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gtopkssgd/internal/prng"
+)
+
+func TestPublicQuantAggregators(t *testing.T) {
+	const p, dim = 4, 32
+	src := prng.New(4)
+	target := make([]float32, dim)
+	for i := range target {
+		target[i] = float32(src.NormFloat64())
+	}
+	gradFn := func(_ int, weights, grad []float32) float64 {
+		var loss float64
+		for i := range weights {
+			d := weights[i] - target[i]
+			grad[i] = d
+			loss += float64(d) * float64(d)
+		}
+		return loss / dim
+	}
+	for _, algo := range []string{"signsgd", "terngrad", "gtopk-quant8"} {
+		t.Run(algo, func(t *testing.T) {
+			results, err := RunCluster(context.Background(),
+				ClusterConfig{Workers: p, Steps: 150},
+				func(rank int, comm *Comm) (*Trainer, error) {
+					var (
+						agg Aggregator
+						err error
+					)
+					switch algo {
+					case "signsgd":
+						agg = NewSignSGDAggregator(comm, dim)
+					case "terngrad":
+						agg = NewTernGradAggregator(comm, dim, 9)
+					case "gtopk-quant8":
+						agg, err = NewQuantizedGTopKAggregator(comm, dim, 4, 9)
+					}
+					if err != nil {
+						return nil, err
+					}
+					lr := float32(0.05)
+					if algo == "signsgd" {
+						lr = 0.02
+					}
+					return NewTrainer(TrainConfig{LR: lr}, agg, make([]float32, dim), gradFn)
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, last := results[0].Losses[0], results[0].Losses[149]
+			if last > first/2 {
+				t.Fatalf("%s did not make progress: %v -> %v", algo, first, last)
+			}
+		})
+	}
+}
+
+func TestPublicCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	s := &CheckpointState{
+		Iter:     7,
+		Weights:  []float32{1, 2, 3},
+		Velocity: []float32{4, 5, 6},
+		Residual: []float32{7, 8, 9},
+		Meta:     map[string]string{"model": "mlp"},
+	}
+	if err := SaveCheckpoint(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 7 || got.Weights[2] != 3 || got.Meta["model"] != "mlp" {
+		t.Fatalf("round trip altered state: %+v", got)
+	}
+}
+
+func TestPublicPipelinedTrainer(t *testing.T) {
+	fabric, err := NewInProcFabric(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+	agg := NewDenseAggregator(NewComm(fabric.Conn(0)), 2)
+	tr, err := NewPipelinedTrainer(TrainConfig{LR: 0.5}, agg, make([]float32, 2),
+		func(_ int, weights, grad []float32) float64 {
+			grad[0] = weights[0] - 1
+			grad[1] = weights[1] + 1
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := tr.Step(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w := tr.Weights()
+	if w[0] < 0.9 || w[0] > 1.1 || w[1] > -0.9 && w[1] < -1.1 {
+		t.Fatalf("pipelined trainer did not converge: %v", w)
+	}
+}
+
+func TestPublicTraceRecorderViaHook(t *testing.T) {
+	fabric, err := NewInProcFabric(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+	agg := NewDenseAggregator(NewComm(fabric.Conn(0)), 2)
+	tr, err := NewTrainer(TrainConfig{LR: 0.1}, agg, make([]float32, 2),
+		func(_ int, _, grad []float32) float64 { grad[0] = 1; return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewTraceRecorder()
+	tr.SetPhaseHook(func(iter int, pt PhaseTimes) {
+		rec.Record(iter, "compute", pt.Compute)
+		rec.Record(iter, "aggregate", pt.Aggregate)
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := tr.Step(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Len() != 6 {
+		t.Fatalf("recorded %d events, want 6", rec.Len())
+	}
+	totals := rec.Totals()
+	if totals["aggregate"] <= 0 || totals["aggregate"] > time.Second {
+		t.Fatalf("implausible aggregate total %v", totals["aggregate"])
+	}
+}
+
+func TestPublicMultiProcessWorkerAPI(t *testing.T) {
+	// Single-rank worker mesh is a degenerate but valid deployment.
+	conn, err := NewTCPWorker(context.Background(), 0, []string{"127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Size() != 1 {
+		t.Fatalf("size = %d", conn.Size())
+	}
+}

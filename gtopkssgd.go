@@ -1,0 +1,260 @@
+// Package gtopkssgd is a from-scratch Go reproduction of
+//
+//	Shi et al., "A Distributed Synchronous SGD Algorithm with Global
+//	Top-k Sparsification for Low Bandwidth Networks", ICDCS 2019.
+//
+// It provides the paper's gTop-k gradient sparsification and the
+// gTopKAllReduce collective (O(k·logP) communication), the baselines it
+// is evaluated against (dense ring AllReduce, AllGather-based
+// TopKAllReduce), a deterministic message-passing substrate (in-process
+// and TCP fabrics), an α-β network cost model for low-bandwidth-network
+// timing, and a compact neural-network training stack used by the
+// convergence experiments.
+//
+// This file is the public facade: it re-exports the stable surface of
+// the internal packages so downstream users interact with a single
+// import. See README.md for a walkthrough and the examples/ directory
+// for runnable programs.
+//
+// # Quick start
+//
+//	fabric, _ := gtopkssgd.NewInProcFabric(4)
+//	defer fabric.Close()
+//	results, err := gtopkssgd.RunCluster(ctx, gtopkssgd.ClusterConfig{
+//		Workers: 4, Steps: 100,
+//	}, func(rank int, comm *gtopkssgd.Comm) (*gtopkssgd.Trainer, error) {
+//		agg, _ := gtopkssgd.NewGTopKAggregator(comm, dim, gtopkssgd.DensityToK(dim, 0.001))
+//		return gtopkssgd.NewTrainer(gtopkssgd.TrainConfig{LR: 0.1, Momentum: 0.9},
+//			agg, weights, gradFn)
+//	})
+package gtopkssgd
+
+import (
+	"context"
+
+	"gtopkssgd/internal/checkpoint"
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/quant"
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/trace"
+	"gtopkssgd/internal/transport"
+)
+
+// Re-exported types. Aliases keep the internal packages as the single
+// source of truth while making the whole training surface reachable from
+// one import path.
+type (
+	// Vector is a sparse gradient slice: parallel (Indices, Values)
+	// arrays over a dense dimension.
+	Vector = sparse.Vector
+
+	// Conn is one rank's endpoint into a message-passing fabric.
+	Conn = transport.Conn
+	// Fabric is a connected set of rank endpoints.
+	Fabric = transport.Fabric
+
+	// Comm is a rank communicator providing MPI-style collectives.
+	Comm = collective.Comm
+	// CommStats counts messages, bytes and rounds per rank.
+	CommStats = collective.Stats
+
+	// NetModel is the α-β communication cost model.
+	NetModel = netsim.Model
+	// Clock accumulates simulated communication time for one worker.
+	Clock = netsim.Clock
+
+	// Aggregator converts a local dense gradient into the replicated
+	// global update (the algorithm under study).
+	Aggregator = core.Aggregator
+	// Sparsifier owns a worker's error-feedback residual.
+	Sparsifier = core.Sparsifier
+	// GradFn computes a worker's mini-batch gradient.
+	GradFn = core.GradFn
+	// TrainConfig holds SGD hyper-parameters.
+	TrainConfig = core.TrainConfig
+	// Trainer drives one worker's S-SGD loop.
+	Trainer = core.Trainer
+	// ClusterConfig describes a simulated training cluster.
+	ClusterConfig = core.ClusterConfig
+	// WorkerResult is one rank's training telemetry.
+	WorkerResult = core.WorkerResult
+	// WorkerSetup builds a rank's trainer inside its goroutine.
+	WorkerSetup = core.WorkerSetup
+	// PipelinedTrainer overlaps communication with computation
+	// (one-step-stale updates; the paper's future-work pipelining).
+	PipelinedTrainer = core.PipelinedTrainer
+	// PhaseTimes carries per-iteration phase durations to observers.
+	PhaseTimes = core.PhaseTimes
+
+	// CheckpointState snapshots one worker's full training state.
+	CheckpointState = checkpoint.State
+	// TraceRecorder accumulates per-iteration phase timings.
+	TraceRecorder = trace.Recorder
+)
+
+// NewInProcFabric connects n ranks through in-memory mailboxes — the
+// default substrate for simulated clusters (deterministic, race-free).
+func NewInProcFabric(n int) (Fabric, error) { return transport.NewInProc(n) }
+
+// NewTCPFabric connects n ranks through a loopback TCP mesh,
+// demonstrating the collectives over a real network stack.
+func NewTCPFabric(n int) (Fabric, error) { return transport.NewTCP(n) }
+
+// NewComm wraps a fabric endpoint in a communicator.
+func NewComm(conn Conn) *Comm { return collective.New(conn) }
+
+// Paper1GbE returns the α-β model with the constants the paper measured
+// on its 1 Gbps Ethernet cluster (α = 0.436 ms, β = 3.6e-5 ms/element).
+func Paper1GbE() NetModel { return netsim.Paper1GbE() }
+
+// TopKSelect returns the k largest-magnitude entries of x with
+// deterministic tie-breaking (lowest index wins), the local selection
+// primitive of all sparsified algorithms.
+func TopKSelect(x []float32, k int) *Vector { return sparse.TopK(x, k) }
+
+// Merge is the paper's Definition 1 ⊕ operator: the top-k entries of the
+// element-wise sum of two sparse vectors.
+func Merge(a, b *Vector, k int) (*Vector, error) { return sparse.Merge(a, b, k) }
+
+// DensityToK converts a density ρ into the selection count k = ρ·m,
+// clamped to [1, dim].
+func DensityToK(dim int, density float64) int { return core.DensityToK(dim, density) }
+
+// NewSparsifier creates an error-feedback sparsifier for a dim-parameter
+// model.
+func NewSparsifier(dim int) *Sparsifier { return core.NewSparsifier(dim) }
+
+// GTopKAllReduce runs the paper's Algorithm 3: tree-reduce the workers'
+// sparse vectors with ⊕ and broadcast the global top-k, in 2·log2(P)
+// rounds. Requires power-of-two worker counts.
+func GTopKAllReduce(ctx context.Context, comm *Comm, local *Vector, k int) (*Vector, error) {
+	return core.GTopKAllReduce(ctx, comm, local, k)
+}
+
+// TopKAllReduce runs the AllGather-based sparse aggregation baseline
+// (Algorithm 1 lines 12-21), returning the exact sum over the union
+// support.
+func TopKAllReduce(ctx context.Context, comm *Comm, local *Vector) (*Vector, error) {
+	return core.TopKAllReduce(ctx, comm, local)
+}
+
+// NaiveGTopKAllReduce computes the exact global top-k of the sum via
+// AllGather (Algorithm 2) — the reference the tree is verified against.
+func NaiveGTopKAllReduce(ctx context.Context, comm *Comm, local *Vector, k int) (*Vector, error) {
+	return core.NaiveGTopKAllReduce(ctx, comm, local, k)
+}
+
+// PSGTopKAllReduce computes the global top-k through a parameter-server
+// star topology (works for any P; scales worse than the tree).
+func PSGTopKAllReduce(ctx context.Context, comm *Comm, local *Vector, k int) (*Vector, error) {
+	return core.PSGTopKAllReduce(ctx, comm, local, k)
+}
+
+// NewDenseAggregator builds classic S-SGD aggregation (ring AllReduce of
+// the full gradient).
+func NewDenseAggregator(comm *Comm, dim int) Aggregator {
+	return core.NewDenseAggregator(comm, dim)
+}
+
+// NewTopKAggregator builds Top-k S-SGD aggregation (Algorithm 1).
+func NewTopKAggregator(comm *Comm, dim, k int) (Aggregator, error) {
+	agg, err := core.NewTopKAggregator(comm, dim, k)
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// NewGTopKAggregator builds gTop-k S-SGD aggregation (Algorithm 4, tree
+// based), the paper's contribution.
+func NewGTopKAggregator(comm *Comm, dim, k int) (Aggregator, error) {
+	agg, err := core.NewGTopKAggregator(comm, dim, k)
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// NewPSGTopKAggregator builds the parameter-server-mode gTop-k extension.
+func NewPSGTopKAggregator(comm *Comm, dim, k int) (Aggregator, error) {
+	agg, err := core.NewPSGTopKAggregator(comm, dim, k)
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// NewLayerwiseGTopKAggregator builds the layer-wise gTop-k extension;
+// bounds are cumulative per-layer parameter offsets.
+func NewLayerwiseGTopKAggregator(comm *Comm, bounds []int, density float64) (Aggregator, error) {
+	agg, err := core.NewLayerwiseGTopKAggregator(comm, bounds, density)
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// NewTrainer assembles a worker's S-SGD loop; weights must be identically
+// initialised on every rank.
+func NewTrainer(cfg TrainConfig, agg Aggregator, weights []float32, gradFn GradFn) (*Trainer, error) {
+	return core.NewTrainer(cfg, agg, weights, gradFn)
+}
+
+// NewPipelinedTrainer assembles the communication/computation-overlapped
+// trainer (one-step-stale updates); call Flush after the final Step.
+func NewPipelinedTrainer(cfg TrainConfig, agg Aggregator, weights []float32, gradFn GradFn) (*PipelinedTrainer, error) {
+	return core.NewPipelinedTrainer(cfg, agg, weights, gradFn)
+}
+
+// RunCluster spawns the configured number of goroutine workers and runs
+// synchronous training, returning per-rank results.
+func RunCluster(ctx context.Context, cfg ClusterConfig, setup WorkerSetup) ([]*WorkerResult, error) {
+	return core.RunCluster(ctx, cfg, setup)
+}
+
+// NewTCPWorker joins a MULTI-PROCESS TCP fabric as one rank; every
+// worker process passes its own rank and the shared address list. See
+// cmd/gtopk-worker for a complete deployment example.
+func NewTCPWorker(ctx context.Context, rank int, addrs []string) (Conn, error) {
+	return transport.NewTCPWorker(ctx, rank, addrs)
+}
+
+// NewSignSGDAggregator builds the signSGD-with-majority-vote baseline
+// (1 bit per gradient, the quantization-family ceiling).
+func NewSignSGDAggregator(comm *Comm, dim int) Aggregator {
+	return quant.NewSignSGDAggregator(comm, dim)
+}
+
+// NewTernGradAggregator builds the TernGrad baseline (unbiased ternary
+// quantization). seed must be shared across runs but ranks derive
+// independent streams from it.
+func NewTernGradAggregator(comm *Comm, dim int, seed uint64) Aggregator {
+	return quant.NewTernGradAggregator(comm, dim, seed)
+}
+
+// NewQuantizedGTopKAggregator builds the combined compressor: gTop-k
+// sparsification with 8-bit quantized values (DGC-style).
+func NewQuantizedGTopKAggregator(comm *Comm, dim, k int, seed uint64) (Aggregator, error) {
+	agg, err := quant.NewQuantizedGTopKAggregator(comm, dim, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// SaveCheckpoint atomically persists a training-state snapshot to path.
+func SaveCheckpoint(path string, s *CheckpointState) error {
+	return checkpoint.SaveFile(path, s)
+}
+
+// LoadCheckpoint reads a training-state snapshot from path, validating
+// its checksum.
+func LoadCheckpoint(path string) (*CheckpointState, error) {
+	return checkpoint.LoadFile(path)
+}
+
+// NewTraceRecorder creates a per-iteration phase-timing recorder to
+// install via Trainer.SetPhaseHook.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }

@@ -1,0 +1,160 @@
+package gtopkssgd
+
+import (
+	"context"
+	"testing"
+
+	"gtopkssgd/internal/prng"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way the
+// README shows: build a fabric, run a 4-worker gTop-k training job on a
+// toy objective, and verify convergence and replica consistency.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// With density 0.1 each coordinate waits ~10 steps in the residual
+	// before being applied, so the stable learning rate is ~10x smaller
+	// than dense SGD's (lr·staleness < 2 for a unit-curvature quadratic).
+	const (
+		workers = 4
+		dim     = 64
+		steps   = 400
+	)
+	src := prng.New(1)
+	target := make([]float32, dim)
+	for i := range target {
+		target[i] = float32(src.NormFloat64())
+	}
+	gradFn := func(_ int, weights, grad []float32) float64 {
+		var loss float64
+		for i := range weights {
+			d := weights[i] - target[i]
+			grad[i] = d
+			loss += 0.5 * float64(d) * float64(d)
+		}
+		return loss / dim
+	}
+
+	results, err := RunCluster(context.Background(),
+		ClusterConfig{Workers: workers, Steps: steps},
+		func(rank int, comm *Comm) (*Trainer, error) {
+			k := DensityToK(dim, 0.1)
+			agg, err := NewGTopKAggregator(comm, dim, k)
+			if err != nil {
+				return nil, err
+			}
+			return NewTrainer(TrainConfig{LR: 0.05}, agg, make([]float32, dim), gradFn)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Losses[steps-1] > results[0].Losses[0]/10 {
+		t.Fatalf("no convergence: %v -> %v", results[0].Losses[0], results[0].Losses[steps-1])
+	}
+	for r := 1; r < workers; r++ {
+		for i := range results[0].FinalWeights {
+			if results[r].FinalWeights[i] != results[0].FinalWeights[i] {
+				t.Fatalf("replica %d diverged at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestPublicCollectives(t *testing.T) {
+	const p, dim, k = 4, 100, 5
+	fabric, err := NewInProcFabric(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+
+	locals := make([]*Vector, p)
+	for r := range locals {
+		src := prng.New(uint64(r + 10))
+		g := make([]float32, dim)
+		for i := range g {
+			g[i] = float32(src.NormFloat64())
+		}
+		locals[r] = TopKSelect(g, k)
+	}
+
+	type result struct {
+		vec *Vector
+		err error
+	}
+	results := make([]result, p)
+	done := make(chan int, p)
+	for r := 0; r < p; r++ {
+		go func(rank int) {
+			comm := NewComm(fabric.Conn(rank))
+			v, err := GTopKAllReduce(context.Background(), comm, locals[rank].Clone(), k)
+			results[rank] = result{v, err}
+			done <- rank
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for r, res := range results {
+		if res.err != nil {
+			t.Fatalf("rank %d: %v", r, res.err)
+		}
+		if res.vec.NNZ() > k {
+			t.Fatalf("rank %d: %d entries > k", r, res.vec.NNZ())
+		}
+	}
+}
+
+func TestPublicMergeAndSelect(t *testing.T) {
+	a := TopKSelect([]float32{5, 0, -3, 1}, 2)
+	bv := TopKSelect([]float32{0, 4, -3, 0}, 2)
+	m, err := Merge(a, bv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sums: idx0=5, idx1=4, idx2=-6 -> top-2 by magnitude: idx2 (-6), idx0 (5).
+	if m.NNZ() != 2 || m.Indices[0] != 0 || m.Indices[1] != 2 {
+		t.Fatalf("merge = %v %v", m.Indices, m.Values)
+	}
+}
+
+func TestPublicNetModel(t *testing.T) {
+	model := Paper1GbE()
+	if model.GTopKAllReduce(32, 25000) >= model.TopKAllReduce(32, 25000) {
+		t.Fatal("gTopK should beat TopK at P=32")
+	}
+}
+
+func TestPublicAggregatorConstructorsValidate(t *testing.T) {
+	fabric, err := NewInProcFabric(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+	comm := NewComm(fabric.Conn(0))
+	if _, err := NewTopKAggregator(comm, 10, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewGTopKAggregator(comm, 10, 11); err == nil {
+		t.Error("k>dim accepted")
+	}
+	if _, err := NewLayerwiseGTopKAggregator(comm, []int{0, 5, 3}, 0.1); err == nil {
+		t.Error("bad bounds accepted")
+	}
+	if _, err := NewPSGTopKAggregator(comm, 10, 2); err != nil {
+		t.Errorf("valid PS aggregator rejected: %v", err)
+	}
+	if agg := NewDenseAggregator(comm, 10); agg.Name() != "dense" {
+		t.Errorf("dense aggregator name %q", agg.Name())
+	}
+}
+
+func TestPublicSparsifier(t *testing.T) {
+	sp := NewSparsifier(4)
+	sel, err := sp.Select([]float32{1, -9, 2, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NNZ() != 1 || sel.Indices[0] != 1 {
+		t.Fatalf("selection = %v", sel.Indices)
+	}
+}

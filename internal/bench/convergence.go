@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/data"
+	"gtopkssgd/internal/metrics"
+	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/nn"
+	"gtopkssgd/internal/nn/models"
+	"gtopkssgd/internal/quant"
+)
+
+// TrainSpec configures one distributed-training run of a convergence
+// experiment. Worker counts, densities, warmup schedules and momentum
+// follow the paper; model sizes and epoch lengths are CPU-scaled (see
+// EXPERIMENTS.md §Scaling).
+type TrainSpec struct {
+	Model string // vgg16sim | resnet20sim | alexnetsim | resnet50sim | lstm | mlp
+	Algo  string // dense | topk | gtopk | gtopk-naive | gtopk-ps | gtopk-layerwise
+
+	Workers       int
+	Batch         int
+	Epochs        int
+	ItersPerEpoch int
+
+	Density float64
+	// WarmupDensities are per-epoch densities applied before Density
+	// takes over (the paper uses [0.25, 0.0725, 0.015, 0.004]).
+	WarmupDensities []float64
+
+	LR       float32
+	Momentum float32
+	GradClip float32
+
+	Seed uint64
+	// EvalBatches > 0 evaluates held-out accuracy after every epoch
+	// (classifier models only).
+	EvalBatches int
+	// DisablePutBack turns off Algorithm 4 line 10 for the residual
+	// ablation (gtopk only).
+	DisablePutBack bool
+}
+
+// Validate rejects malformed specifications.
+func (s TrainSpec) Validate() error {
+	if s.Workers < 1 || s.Batch < 1 || s.Epochs < 1 || s.ItersPerEpoch < 1 {
+		return fmt.Errorf("bench: non-positive workers/batch/epochs/iters in %+v", s)
+	}
+	if s.Algo != "dense" && (s.Density <= 0 || s.Density > 1) {
+		return fmt.Errorf("bench: density %v out of (0,1]", s.Density)
+	}
+	return nil
+}
+
+// TrainCurve is the result of one training run.
+type TrainCurve struct {
+	Spec      TrainSpec
+	EpochLoss []float64
+	EpochAcc  []float64     // per-epoch held-out accuracy (empty unless requested)
+	SimTime   time.Duration // simulated communication time on rank 0
+}
+
+// PaperWarmup returns the paper's warmup density schedule.
+func PaperWarmup() []float64 { return []float64{0.25, 0.0725, 0.015, 0.004} }
+
+// RunTraining executes the distributed training run described by spec and
+// returns its loss (and optionally accuracy) curves.
+func RunTraining(ctx context.Context, spec TrainSpec) (*TrainCurve, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	steps := spec.Epochs * spec.ItersPerEpoch
+	simModel := netsim.Paper1GbE()
+
+	// Rank 0's model is shared with the evaluation hook. Classifier
+	// construction must happen inside the worker goroutine for all other
+	// ranks, so the setup closure builds per-rank state.
+	type rankState struct {
+		cls  *models.Classifier
+		lstm *nn.LSTMLM
+	}
+	states := make([]*rankState, spec.Workers)
+
+	var imgDS *data.Images
+	var txtDS *data.Text
+	var err error
+	if spec.Model == "lstm" {
+		txtDS, err = data.NewText(spec.Seed+1000, 64)
+	} else {
+		c, h, w := 3, 8, 8
+		if spec.Model == "alexnetsim" {
+			h, w = 16, 16
+		}
+		imgDS, err = data.NewImages(spec.Seed+1000, 10, c, h, w, 0.4)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	setup := func(rank int, comm *collective.Comm) (*core.Trainer, error) {
+		st := &rankState{}
+		states[rank] = st
+		var (
+			dim    int
+			params []float32
+			gradFn core.GradFn
+			bounds []int
+		)
+		switch spec.Model {
+		case "vgg16sim":
+			st.cls = models.VGG16Sim()
+		case "resnet20sim":
+			st.cls = models.ResNet20Sim()
+		case "alexnetsim":
+			st.cls = models.AlexNetSim()
+		case "resnet50sim":
+			st.cls = models.ResNet50Sim()
+		case "mlp":
+			st.cls = models.MLP(imgDS.Dim(), 64, 10)
+		case "lstm":
+			st.lstm = models.LSTMPTBSim()
+		default:
+			return nil, fmt.Errorf("bench: unknown model %q", spec.Model)
+		}
+		if st.lstm != nil {
+			st.lstm.Init(spec.Seed)
+			dim = st.lstm.ParamCount()
+			params = st.lstm.Parameters()
+			gradFn = models.LSTMGradFn(st.lstm, txtDS, rank, spec.Workers, spec.Batch, 16)
+			bounds = []int{0, dim}
+		} else {
+			st.cls.Net.Init(spec.Seed)
+			dim = st.cls.Net.ParamCount()
+			params = st.cls.Net.Parameters()
+			gradFn = models.GradFn(st.cls, imgDS, rank, spec.Workers, spec.Batch)
+			bounds = st.cls.Net.LayerBounds()
+		}
+
+		agg, err := buildAggregator(spec, comm, dim, bounds)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.TrainConfig{LR: spec.LR, Momentum: spec.Momentum, GradClip: spec.GradClip}
+		// Sparsified algorithms use DGC-style momentum correction (local
+		// momentum before selection) instead of global momentum on the
+		// spiky sparse updates, which is unstable — the problem the
+		// paper's reference [12] identifies and fixes.
+		type momentumCorrector interface{ SetMomentumCorrection(mu float32) }
+		if mc, ok := agg.(momentumCorrector); ok && spec.Momentum > 0 {
+			mc.SetMomentumCorrection(spec.Momentum)
+			cfg.Momentum = 0
+		}
+		return core.NewTrainer(cfg, agg, params, gradFn)
+	}
+
+	results, err := core.RunCluster(ctx, core.ClusterConfig{
+		Workers: spec.Workers,
+		Steps:   steps,
+		Model:   &simModel,
+	}, setup)
+	if err != nil {
+		return nil, err
+	}
+
+	curve := &TrainCurve{
+		Spec:      spec,
+		EpochLoss: metrics.EpochMeans(results[0].Losses, spec.ItersPerEpoch),
+		SimTime:   results[0].SimulatedTime,
+	}
+	if spec.EvalBatches > 0 && states[0] != nil && states[0].cls != nil {
+		// Final-model accuracy (per-epoch accuracy would require eval
+		// hooks inside the training loop; the final number is what
+		// Figs 13/14 compare at the end of training).
+		curve.EpochAcc = []float64{
+			models.EvalAccuracy(states[0].cls, imgDS, spec.EvalBatches, 32),
+		}
+	}
+	return curve, nil
+}
+
+// buildAggregator constructs the aggregator named by spec.Algo with the
+// warmup schedule installed where supported.
+func buildAggregator(spec TrainSpec, comm *collective.Comm, dim int, bounds []int) (core.Aggregator, error) {
+	k := core.DensityToK(dim, spec.Density)
+	schedule := densitySchedule(spec, dim)
+	switch spec.Algo {
+	case "dense":
+		return core.NewDenseAggregator(comm, dim), nil
+	case "topk":
+		agg, err := core.NewTopKAggregator(comm, dim, k)
+		if err != nil {
+			return nil, err
+		}
+		if schedule != nil {
+			agg.SetSchedule(schedule)
+		}
+		return agg, nil
+	case "gtopk":
+		agg, err := core.NewGTopKAggregator(comm, dim, k)
+		if err != nil {
+			return nil, err
+		}
+		if schedule != nil {
+			agg.SetSchedule(schedule)
+		}
+		if spec.DisablePutBack {
+			agg.SetPutBack(false)
+		}
+		return agg, nil
+	case "gtopk-naive":
+		return core.NewNaiveGTopKAggregator(comm, dim, k)
+	case "gtopk-ps":
+		return core.NewPSGTopKAggregator(comm, dim, k)
+	case "gtopk-layerwise":
+		return core.NewLayerwiseGTopKAggregator(comm, bounds, spec.Density)
+	case "signsgd":
+		return quant.NewSignSGDAggregator(comm, dim), nil
+	case "terngrad":
+		return quant.NewTernGradAggregator(comm, dim, spec.Seed), nil
+	case "gtopk-quant8":
+		return quant.NewQuantizedGTopKAggregator(comm, dim, k, spec.Seed)
+	default:
+		return nil, fmt.Errorf("bench: unknown algorithm %q", spec.Algo)
+	}
+}
+
+// densitySchedule converts the warmup densities into a per-step k
+// schedule (nil when no warmup is configured).
+func densitySchedule(spec TrainSpec, dim int) func(step int) int {
+	if len(spec.WarmupDensities) == 0 {
+		return nil
+	}
+	warm := append([]float64(nil), spec.WarmupDensities...)
+	target := spec.Density
+	iters := spec.ItersPerEpoch
+	return func(step int) int {
+		epoch := step / iters
+		if epoch < len(warm) {
+			return core.DensityToK(dim, warm[epoch])
+		}
+		return core.DensityToK(dim, target)
+	}
+}
+
+// CurveTable renders several training curves side by side, one row per
+// epoch — the textual equivalent of the paper's loss-vs-epoch plots.
+func CurveTable(title string, curves []*TrainCurve) string {
+	header := []string{"epoch"}
+	for _, c := range curves {
+		header = append(header, c.Spec.Algo)
+	}
+	tb := metrics.NewTable(header...)
+	maxEpochs := 0
+	for _, c := range curves {
+		if len(c.EpochLoss) > maxEpochs {
+			maxEpochs = len(c.EpochLoss)
+		}
+	}
+	for e := 0; e < maxEpochs; e++ {
+		row := []string{fmt.Sprintf("%d", e+1)}
+		for _, c := range curves {
+			if e < len(c.EpochLoss) {
+				row = append(row, fmt.Sprintf("%.4f", c.EpochLoss[e]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		tb.AddRow(row...)
+	}
+	return title + "\n\n" + tb.String()
+}

@@ -1,0 +1,289 @@
+// Package checkpoint persists and restores distributed-training state:
+// model weights, optimizer velocity, the sparsifier's error-feedback
+// residual, and the iteration counter. Long low-bandwidth training runs
+// (the paper's ImageNet experiments run for days) need restartability,
+// and the residual is genuinely part of the optimizer state — dropping
+// it on restart loses every gradient queued locally.
+//
+// Format (little-endian): magic "GTKC" | uint32 version | uint64 iter |
+// 3 × (uint32 length | raw float32s) for weights/velocity/residual |
+// uint32 metadata count | count × (uint32 len | bytes key | uint32 len |
+// bytes value) | crc32 (IEEE) of everything before it.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+const (
+	magic   = "GTKC"
+	version = 1
+)
+
+// State is a snapshot of one worker's training state. Because all
+// replicas are bit-identical under synchronous training, one snapshot
+// restores the whole cluster; per-rank residuals differ, so sparsified
+// runs save one state per rank.
+type State struct {
+	Iter     uint64
+	Weights  []float32
+	Velocity []float32
+	Residual []float32
+	Meta     map[string]string
+}
+
+// Save writes the state to w in the versioned binary format.
+func Save(w io.Writer, s *State) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	if _, err := mw.Write([]byte(magic)); err != nil {
+		return fmt.Errorf("checkpoint: write magic: %w", err)
+	}
+	if err := writeU32(mw, version); err != nil {
+		return err
+	}
+	if err := writeU64(mw, s.Iter); err != nil {
+		return err
+	}
+	for _, vec := range [][]float32{s.Weights, s.Velocity, s.Residual} {
+		if err := writeVec(mw, vec); err != nil {
+			return err
+		}
+	}
+	if err := writeMeta(mw, s.Meta); err != nil {
+		return err
+	}
+	// Trailing checksum (not itself checksummed).
+	if err := writeU32(w, crc.Sum32()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Load parses a checkpoint, validating the magic, version and checksum.
+func Load(r io.Reader) (*State, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(tr, hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: read magic: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", hdr)
+	}
+	ver, err := readU32(tr)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", ver)
+	}
+	s := &State{}
+	if s.Iter, err = readU64(tr); err != nil {
+		return nil, err
+	}
+	if s.Weights, err = readVec(tr); err != nil {
+		return nil, err
+	}
+	if s.Velocity, err = readVec(tr); err != nil {
+		return nil, err
+	}
+	if s.Residual, err = readVec(tr); err != nil {
+		return nil, err
+	}
+	if s.Meta, err = readMeta(tr); err != nil {
+		return nil, err
+	}
+	want := crc.Sum32()
+	got, err := readU32(r) // checksum is outside the CRC'd region
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+	return s, nil
+}
+
+// SaveFile atomically writes the state to path (temp file + rename), so
+// a crash mid-save never corrupts an existing checkpoint.
+func SaveFile(path string, s *State) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := Save(bw, s); err != nil {
+		f.Close()      //nolint:errcheck // error path
+		os.Remove(tmp) //nolint:errcheck // error path
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()      //nolint:errcheck // error path
+		os.Remove(tmp) //nolint:errcheck // error path
+		return fmt.Errorf("checkpoint: flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) //nolint:errcheck // error path
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp) //nolint:errcheck // error path
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	return Load(bufio.NewReader(f))
+}
+
+const maxVecLen = 1 << 30 // 1G elements: sanity bound against corrupt headers
+
+func writeVec(w io.Writer, vec []float32) error {
+	if err := writeU32(w, uint32(len(vec))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(vec))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("checkpoint: write vector: %w", err)
+	}
+	return nil
+}
+
+func readVec(r io.Reader) ([]float32, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxVecLen {
+		return nil, fmt.Errorf("checkpoint: vector length %d exceeds sanity bound", n)
+	}
+	buf := make([]byte, 4*int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("checkpoint: read vector: %w", err)
+	}
+	vec := make([]float32, n)
+	for i := range vec {
+		vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return vec, nil
+}
+
+func writeMeta(w io.Writer, meta map[string]string) error {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic byte-for-byte checkpoints
+	if err := writeU32(w, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		for _, s := range []string{k, meta[k]} {
+			if err := writeU32(w, uint32(len(s))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, s); err != nil {
+				return fmt.Errorf("checkpoint: write meta: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+func readMeta(r io.Reader) (map[string]string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	const maxMeta = 1 << 16
+	if n > maxMeta {
+		return nil, fmt.Errorf("checkpoint: %d metadata entries exceeds sanity bound", n)
+	}
+	meta := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := readStr(r)
+		if err != nil {
+			return nil, err
+		}
+		v, err := readStr(r)
+		if err != nil {
+			return nil, err
+		}
+		meta[k] = v
+	}
+	return meta, nil
+}
+
+func readStr(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	const maxStr = 1 << 20
+	if n > maxStr {
+		return "", fmt.Errorf("checkpoint: string length %d exceeds sanity bound", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("checkpoint: read string: %w", err)
+	}
+	return string(buf), nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("checkpoint: write u32: %w", err)
+	}
+	return nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("checkpoint: read u32: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("checkpoint: write u64: %w", err)
+	}
+	return nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("checkpoint: read u64: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+var _ hash.Hash32 = crc32.NewIEEE() // compile-time interface check documentation

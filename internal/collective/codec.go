@@ -1,0 +1,90 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// encodeF32 serialises xs as raw little-endian float32s (no length prefix;
+// the ring algorithm knows chunk sizes from rank arithmetic).
+func encodeF32(xs []float32) []byte {
+	buf := make([]byte, 4*len(xs))
+	for i, v := range xs {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// addDecodedF32 adds the raw float32 payload into dst element-wise.
+func addDecodedF32(dst []float32, buf []byte) error {
+	if len(buf) != 4*len(dst) {
+		return fmt.Errorf("collective: payload %d bytes for %d-element chunk", len(buf), len(dst))
+	}
+	for i := range dst {
+		dst[i] += math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// copyDecodedF32 overwrites dst with the raw float32 payload.
+func copyDecodedF32(dst []float32, buf []byte) error {
+	if len(buf) != 4*len(dst) {
+		return fmt.Errorf("collective: payload %d bytes for %d-element chunk", len(buf), len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// packBlocks serialises the contiguous rank block [low, low+size) of out:
+//
+//	uint32 count | count × (uint32 rank | uint32 len | bytes)
+func packBlocks(out [][]byte, low, size, p int) []byte {
+	total := 4
+	for i := 0; i < size; i++ {
+		total += 8 + len(out[(low+i)%p])
+	}
+	buf := make([]byte, 0, total)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(size))
+	buf = append(buf, hdr[:4]...)
+	for i := 0; i < size; i++ {
+		rank := (low + i) % p
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(rank))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(out[rank])))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, out[rank]...)
+	}
+	return buf
+}
+
+// unpackBlocks parses packBlocks output into out by rank.
+func unpackBlocks(out [][]byte, buf []byte) error {
+	if len(buf) < 4 {
+		return fmt.Errorf("collective: block payload too short (%d bytes)", len(buf))
+	}
+	count := int(binary.LittleEndian.Uint32(buf[:4]))
+	off := 4
+	for i := 0; i < count; i++ {
+		if off+8 > len(buf) {
+			return fmt.Errorf("collective: truncated block header at entry %d", i)
+		}
+		rank := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		n := int(binary.LittleEndian.Uint32(buf[off+4 : off+8]))
+		off += 8
+		if rank < 0 || rank >= len(out) {
+			return fmt.Errorf("collective: block rank %d out of range", rank)
+		}
+		if off+n > len(buf) {
+			return fmt.Errorf("collective: truncated block body at entry %d", i)
+		}
+		out[rank] = buf[off : off+n]
+		off += n
+	}
+	if off != len(buf) {
+		return fmt.Errorf("collective: %d trailing bytes in block payload", len(buf)-off)
+	}
+	return nil
+}

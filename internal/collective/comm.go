@@ -1,0 +1,159 @@
+// Package collective implements the MPI-style collective operations the
+// paper builds on: dissemination barrier, binomial-tree broadcast,
+// recursive-doubling and ring AllGather, and ring AllReduce
+// (reduce-scatter + all-gather) over dense float32 vectors.
+//
+// Collectives execute for real over a transport fabric, so results are
+// bit-exact and testable; simultaneously each communicator can be
+// attached to a simulated clock (netsim) that prices every communication
+// round with the α-β model, reproducing the paper's cost equations
+// (Table I) without needing 32 physical machines.
+package collective
+
+import (
+	"context"
+	"fmt"
+
+	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/transport"
+)
+
+// Stats accumulates communication counters for one rank. All collectives
+// executed through a Comm add to these totals.
+type Stats struct {
+	MsgsSent  int
+	MsgsRecv  int
+	BytesSent int64
+	BytesRecv int64
+	Rounds    int
+}
+
+// Comm is one rank's communicator: a transport endpoint plus bookkeeping
+// (tag sequencing, statistics, optional simulated-time accounting).
+//
+// A Comm is used SPMD-style: every rank must invoke the same collectives
+// in the same order. It is not safe for concurrent use by multiple
+// goroutines.
+type Comm struct {
+	conn  transport.Conn
+	stats Stats
+
+	clock *netsim.Clock
+	model netsim.Model
+	timed bool
+
+	nextTag int
+}
+
+// New wraps a transport endpoint in a communicator.
+func New(conn transport.Conn) *Comm {
+	return &Comm{conn: conn}
+}
+
+// WithClock attaches a simulated clock priced by model. Every subsequent
+// communication round advances the clock by α + nβ for the n elements the
+// slowest participant moves in that round. Returns c for chaining.
+func (c *Comm) WithClock(clock *netsim.Clock, model netsim.Model) *Comm {
+	c.clock = clock
+	c.model = model
+	c.timed = true
+	return c
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.conn.Rank() }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.conn.Size() }
+
+// Stats returns a copy of the accumulated counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the accumulated counters.
+func (c *Comm) ResetStats() { c.stats = Stats{} }
+
+// Clock returns the attached simulated clock (nil when untimed).
+func (c *Comm) Clock() *netsim.Clock { return c.clock }
+
+// send transmits payload and updates counters.
+func (c *Comm) send(ctx context.Context, dst, tag int, payload []byte) error {
+	if err := c.conn.Send(ctx, dst, tag, payload); err != nil {
+		return err
+	}
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(len(payload))
+	return nil
+}
+
+// recv receives a payload and updates counters.
+func (c *Comm) recv(ctx context.Context, src, tag int) ([]byte, error) {
+	payload, err := c.conn.Recv(ctx, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.MsgsRecv++
+	c.stats.BytesRecv += int64(len(payload))
+	return payload, nil
+}
+
+// chargeRound accounts one communication round in which this rank moves
+// elems float32-sized elements (α + elems·β on the simulated clock).
+// Rounds where this rank only waits still pay the latency term α, which
+// models the synchronous structure of the paper's algorithms.
+func (c *Comm) chargeRound(elems int) {
+	c.stats.Rounds++
+	if c.timed {
+		c.clock.Advance(c.model.PointToPoint(elems))
+	}
+}
+
+// ClaimTags reserves n consecutive tags for a custom collective built on
+// top of this communicator (e.g. core.GTopKAllReduce) and returns the
+// first. Every rank must claim the same tag counts in the same order.
+func (c *Comm) ClaimTags(n int) int { return c.claimTags(n) }
+
+// SendTag sends payload to dst under a tag claimed via ClaimTags,
+// updating the statistics counters.
+func (c *Comm) SendTag(ctx context.Context, dst, tag int, payload []byte) error {
+	return c.send(ctx, dst, tag, payload)
+}
+
+// RecvTag receives the payload sent by src under a tag claimed via
+// ClaimTags, updating the statistics counters.
+func (c *Comm) RecvTag(ctx context.Context, src, tag int) ([]byte, error) {
+	return c.recv(ctx, src, tag)
+}
+
+// ChargeRound lets custom collectives account one synchronous
+// communication round moving elems float32-sized elements.
+func (c *Comm) ChargeRound(elems int) { c.chargeRound(elems) }
+
+// claimTags reserves n consecutive tags for a collective invocation and
+// returns the first. Because every rank issues the same collective
+// sequence, tag counters advance in lock step across ranks, isolating
+// concurrent wire traffic of adjacent collectives.
+func (c *Comm) claimTags(n int) int {
+	base := c.nextTag
+	c.nextTag += n
+	return base
+}
+
+// requirePow2 validates the power-of-two worker counts the paper's
+// recursive algorithms assume ("we assume that the number of workers P is
+// the power of 2", Section III).
+func requirePow2(p int) error {
+	if p < 1 || p&(p-1) != 0 {
+		return fmt.Errorf("collective: %d workers; algorithm requires a power of two", p)
+	}
+	return nil
+}
+
+// log2 returns floor(log2(p)) for p >= 1.
+func log2(p int) int {
+	n := 0
+	for p > 1 {
+		p >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/sparse"
+)
+
+// Aggregator turns one worker's local dense gradient into the globally
+// agreed model update for this iteration. Implementations differ in what
+// they communicate; all return the same length-dim dense update vector
+// (the MEAN gradient contribution, i.e. already divided by P) and must
+// produce bit-identical updates on every rank so replicas never diverge.
+type Aggregator interface {
+	// Aggregate consumes grad (not retained) and returns the dense update.
+	Aggregate(ctx context.Context, grad []float32) ([]float32, error)
+	// Name identifies the algorithm in logs and experiment tables.
+	Name() string
+}
+
+// DenseAggregator implements classic S-SGD: ring AllReduce over the full
+// dense gradient (Eq. 3 + Eq. 5).
+type DenseAggregator struct {
+	comm *collective.Comm
+	buf  []float32
+}
+
+// NewDenseAggregator creates a dense-gradient aggregator for a
+// dim-parameter model.
+func NewDenseAggregator(comm *collective.Comm, dim int) *DenseAggregator {
+	return &DenseAggregator{comm: comm, buf: make([]float32, dim)}
+}
+
+// Name implements Aggregator.
+func (a *DenseAggregator) Name() string { return "dense" }
+
+// Aggregate implements Aggregator.
+func (a *DenseAggregator) Aggregate(ctx context.Context, grad []float32) ([]float32, error) {
+	if len(grad) != len(a.buf) {
+		return nil, fmt.Errorf("core: dense aggregate: dim %d, want %d", len(grad), len(a.buf))
+	}
+	copy(a.buf, grad)
+	if err := a.comm.RingAllReduceMean(ctx, a.buf); err != nil {
+		return nil, fmt.Errorf("core: dense aggregate: %w", err)
+	}
+	return a.buf, nil
+}
+
+// TopKAggregator implements Top-k S-SGD (Algorithm 1): local top-k
+// selection with error feedback, AllGather-based aggregation, average of
+// the union support.
+type TopKAggregator struct {
+	comm     *collective.Comm
+	sp       *Sparsifier
+	k        int
+	schedule func(step int) int
+	step     int
+	mu       float32
+	velocity []float32
+	dense    []float32
+}
+
+// NewTopKAggregator creates a Top-k aggregator selecting k of dim
+// gradients per iteration.
+func NewTopKAggregator(comm *collective.Comm, dim, k int) (*TopKAggregator, error) {
+	if err := validateK(dim, k); err != nil {
+		return nil, err
+	}
+	return &TopKAggregator{
+		comm:  comm,
+		sp:    NewSparsifier(dim),
+		k:     k,
+		dense: make([]float32, dim),
+	}, nil
+}
+
+// Name implements Aggregator.
+func (a *TopKAggregator) Name() string { return "topk" }
+
+// SetK retunes the per-iteration selection count (warmup schedules).
+func (a *TopKAggregator) SetK(k int) error {
+	if err := validateK(a.sp.Dim(), k); err != nil {
+		return err
+	}
+	a.k = k
+	return nil
+}
+
+// SetSchedule installs a per-step selection-count schedule (the paper's
+// warmup uses per-epoch densities [0.25, 0.0725, 0.015, 0.004] before the
+// target density). The schedule overrides the static k; it must return
+// values in [1, dim] and must be identical on every rank.
+func (a *TopKAggregator) SetSchedule(f func(step int) int) { a.schedule = f }
+
+// SetMomentumCorrection enables DGC-style momentum correction (Lin et
+// al., cited as [12]): momentum is accumulated LOCALLY before
+// sparsification (u ← µ·u + g; the residual accumulates u), so deferred
+// coordinates carry their momentum history instead of having a global
+// momentum term amplify spiky sparse updates. When enabled, configure
+// the trainer with Momentum: 0.
+func (a *TopKAggregator) SetMomentumCorrection(mu float32) {
+	a.mu = mu
+	if mu > 0 && a.velocity == nil {
+		a.velocity = make([]float32, a.sp.Dim())
+	}
+}
+
+// Sparsifier exposes the residual state for diagnostics.
+func (a *TopKAggregator) Sparsifier() *Sparsifier { return a.sp }
+
+// Aggregate implements Aggregator.
+func (a *TopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]float32, error) {
+	if a.schedule != nil {
+		if err := a.SetK(a.schedule(a.step)); err != nil {
+			return nil, fmt.Errorf("core: topk schedule: %w", err)
+		}
+	}
+	a.step++
+	grad = applyMomentumCorrection(a.mu, a.velocity, grad)
+	local, err := a.sp.Select(grad, a.k)
+	if err != nil {
+		return nil, fmt.Errorf("core: topk aggregate: %w", err)
+	}
+	sum, err := TopKAllReduce(ctx, a.comm, local)
+	if err != nil {
+		return nil, err
+	}
+	for i := range a.dense {
+		a.dense[i] = 0
+	}
+	sum.ScatterAdd(a.dense)
+	inv := 1 / float32(a.comm.Size())
+	for i := range a.dense {
+		a.dense[i] *= inv
+	}
+	return a.dense, nil
+}
+
+// GTopKAggregator implements gTop-k S-SGD (Algorithm 4): local top-k
+// selection, tree-based global top-k aggregation (Algorithm 3), residual
+// put-back for locally-sent-but-globally-dropped values, average by P.
+type GTopKAggregator struct {
+	comm      *collective.Comm
+	sp        *Sparsifier
+	k         int
+	naive     bool // use Algorithm 2's AllGather path instead of the tree
+	noPutBack bool
+	schedule  func(step int) int
+	step      int
+	mu        float32
+	velocity  []float32
+	dense     []float32
+}
+
+// NewGTopKAggregator creates a gTop-k aggregator selecting k of dim
+// gradients globally per iteration using the efficient tree algorithm.
+func NewGTopKAggregator(comm *collective.Comm, dim, k int) (*GTopKAggregator, error) {
+	if err := validateK(dim, k); err != nil {
+		return nil, err
+	}
+	return &GTopKAggregator{
+		comm:  comm,
+		sp:    NewSparsifier(dim),
+		k:     k,
+		dense: make([]float32, dim),
+	}, nil
+}
+
+// NewNaiveGTopKAggregator creates the Algorithm 2 variant that reaches
+// the same global top-k selection through a full AllGather — used for
+// Fig. 1 and for tree-vs-naive equivalence experiments.
+func NewNaiveGTopKAggregator(comm *collective.Comm, dim, k int) (*GTopKAggregator, error) {
+	a, err := NewGTopKAggregator(comm, dim, k)
+	if err != nil {
+		return nil, err
+	}
+	a.naive = true
+	return a, nil
+}
+
+// Name implements Aggregator.
+func (a *GTopKAggregator) Name() string {
+	if a.naive {
+		return "gtopk-naive"
+	}
+	return "gtopk"
+}
+
+// SetK retunes the per-iteration selection count (warmup schedules).
+func (a *GTopKAggregator) SetK(k int) error {
+	if err := validateK(a.sp.Dim(), k); err != nil {
+		return err
+	}
+	a.k = k
+	return nil
+}
+
+// SetSchedule installs a per-step selection-count schedule; see
+// TopKAggregator.SetSchedule.
+func (a *GTopKAggregator) SetSchedule(f func(step int) int) { a.schedule = f }
+
+// SetPutBack toggles Algorithm 4 line 10 (returning globally-dropped
+// values to the residual). Disabling it isolates the contribution of
+// the extra-residual mechanism — the reproduction's residual ablation.
+func (a *GTopKAggregator) SetPutBack(enabled bool) { a.noPutBack = !enabled }
+
+// SetMomentumCorrection enables DGC-style momentum correction; see
+// TopKAggregator.SetMomentumCorrection.
+func (a *GTopKAggregator) SetMomentumCorrection(mu float32) {
+	a.mu = mu
+	if mu > 0 && a.velocity == nil {
+		a.velocity = make([]float32, a.sp.Dim())
+	}
+}
+
+// Sparsifier exposes the residual state for diagnostics.
+func (a *GTopKAggregator) Sparsifier() *Sparsifier { return a.sp }
+
+// Aggregate implements Aggregator.
+func (a *GTopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]float32, error) {
+	if a.schedule != nil {
+		if err := a.SetK(a.schedule(a.step)); err != nil {
+			return nil, fmt.Errorf("core: gtopk schedule: %w", err)
+		}
+	}
+	a.step++
+	grad = applyMomentumCorrection(a.mu, a.velocity, grad)
+	local, err := a.sp.Select(grad, a.k)
+	if err != nil {
+		return nil, fmt.Errorf("core: gtopk aggregate: %w", err)
+	}
+	var global *sparse.Vector
+	if a.naive {
+		global, err = NaiveGTopKAllReduce(ctx, a.comm, local, a.k)
+	} else {
+		global, err = GTopKAllReduce(ctx, a.comm, local, a.k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Algorithm 4 line 10: locally selected values whose index did not
+	// survive globally go back into the residual.
+	if !a.noPutBack {
+		a.sp.PutBack(local, global.Indices)
+	}
+
+	for i := range a.dense {
+		a.dense[i] = 0
+	}
+	global.ScatterAdd(a.dense)
+	inv := 1 / float32(a.comm.Size())
+	for i := range a.dense {
+		a.dense[i] *= inv
+	}
+	return a.dense, nil
+}
+
+// applyMomentumCorrection folds grad into the local velocity and returns
+// the velocity as the quantity to sparsify (identity when mu == 0).
+func applyMomentumCorrection(mu float32, velocity, grad []float32) []float32 {
+	if mu <= 0 {
+		return grad
+	}
+	for i, g := range grad {
+		velocity[i] = mu*velocity[i] + g
+	}
+	return velocity
+}
+
+func validateK(dim, k int) error {
+	if k < 1 || k > dim {
+		return fmt.Errorf("core: k=%d out of range [1,%d]", k, dim)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/sparse"
+)
+
+// TopKAllReduce aggregates per-worker sparse top-k gradients with the
+// AllGather method of Algorithm 1 (lines 12-21), the baseline the paper
+// improves on: every worker gathers all P sparse vectors and scatter-adds
+// them into a dense accumulator. The returned sparse vector is the exact
+// element-wise SUM over workers restricted to the union support (callers
+// average by 1/P as Algorithm 1 line 19 does).
+//
+// Communication cost (Eq. 6): log(P)·α + 2(P−1)k·β.
+func TopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector) (*sparse.Vector, error) {
+	blobs, err := comm.AllGather(ctx, sparse.Encode(local))
+	if err != nil {
+		return nil, fmt.Errorf("core: topk allreduce: %w", err)
+	}
+	sum := &sparse.Vector{Dim: local.Dim}
+	for rank, blob := range blobs {
+		v, err := sparse.Decode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: topk allreduce: rank %d payload: %w", rank, err)
+		}
+		if sum, err = sparse.Add(sum, v); err != nil {
+			return nil, fmt.Errorf("core: topk allreduce: rank %d: %w", rank, err)
+		}
+	}
+	return sum, nil
+}
+
+// NaiveGTopKAllReduce implements Algorithm 2's aggregation: a full
+// TopKAllReduce followed by a *global* re-selection of the k
+// largest-magnitude entries of the sum. It transfers exactly as much as
+// TopKAllReduce; only the returned support shrinks to k. Used for Fig. 1
+// and as the reference the efficient tree algorithm is verified against.
+func NaiveGTopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector, k int) (*sparse.Vector, error) {
+	sum, err := TopKAllReduce(ctx, comm, local)
+	if err != nil {
+		return nil, err
+	}
+	return sparse.TopKSparse(sum, k), nil
+}
+
+// GTopKAllReduce is the paper's Algorithm 3: an efficient global top-k
+// aggregation in 2·log2(P) communication rounds.
+//
+// Phase 1 (tree reduction): log2(P) rounds. In round j, every rank whose
+// index has j+1 low zero bits receives its partner's sparse vector and
+// merges it with the ⊕ operator of Definition 1 (top-k of the sum); the
+// partner goes idle. After the last round rank 0 holds
+// G̃ = G̃¹ ⊕ G̃² ⊕ … ⊕ G̃ᴾ.
+//
+// Phase 2 (broadcast): rank 0 broadcasts G̃ to all ranks along a binomial
+// tree (the "flat-tree" of the paper), log2(P) more rounds.
+//
+// The returned vector holds the k largest-magnitude entries of the
+// element-wise sum as selected greedily by the tree (identical on every
+// rank); its Indices serve as the paper's gMask. Requires power-of-two P.
+//
+// Communication cost (Eq. 7): 2·log(P)·α + 4k·log(P)·β.
+func GTopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector, k int) (*sparse.Vector, error) {
+	p := comm.Size()
+	if p&(p-1) != 0 {
+		return nil, fmt.Errorf("core: gtopk allreduce requires power-of-two workers, got %d", p)
+	}
+	r := comm.Rank()
+	current := local
+
+	rounds := 0
+	for 1<<rounds < p {
+		rounds++
+	}
+	base := comm.ClaimTags(rounds)
+	for j := 0; j < rounds; j++ {
+		stride := 1 << j
+		group := 1 << (j + 1)
+		switch {
+		case r%group == 0:
+			// Receiver: partner is r+stride; it holds a live vector.
+			blob, err := comm.RecvTag(ctx, r+stride, base+j)
+			if err != nil {
+				return nil, fmt.Errorf("core: gtopk round %d recv: %w", j, err)
+			}
+			peerVec, err := sparse.Decode(blob)
+			if err != nil {
+				return nil, fmt.Errorf("core: gtopk round %d payload: %w", j, err)
+			}
+			if current, err = sparse.Merge(current, peerVec, k); err != nil {
+				return nil, fmt.Errorf("core: gtopk round %d merge: %w", j, err)
+			}
+		case r%group == stride:
+			// Sender: ship the live vector to r-stride, then go idle.
+			if err := comm.SendTag(ctx, r-stride, base+j, sparse.Encode(current)); err != nil {
+				return nil, fmt.Errorf("core: gtopk round %d send: %w", j, err)
+			}
+			current = nil
+		}
+		// Every rank pays the synchronous round cost: one message of at
+		// most 2k elements (k values + k indices) is in flight per pair.
+		comm.ChargeRound(2 * k)
+	}
+
+	// Phase 2: broadcast the global top-k from rank 0 (Algorithm 3 line 19).
+	var payload []byte
+	if r == 0 {
+		payload = sparse.Encode(current)
+	}
+	blob, err := comm.Bcast(ctx, 0, payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: gtopk bcast: %w", err)
+	}
+	global, err := sparse.Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("core: gtopk bcast payload: %w", err)
+	}
+	return global, nil
+}

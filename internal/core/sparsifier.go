@@ -1,0 +1,107 @@
+// Package core implements the paper's contribution: the gTop-k
+// sparsification mechanism, the gTopKAllReduce collective (Algorithm 3),
+// the TopKAllReduce baseline (Algorithm 1 lines 12-21), and the four
+// distributed S-SGD variants built on them (dense S-SGD, Top-k S-SGD,
+// naive gTop-k S-SGD of Algorithm 2, and gTop-k S-SGD of Algorithm 4).
+package core
+
+import (
+	"fmt"
+
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/tensor"
+)
+
+// Sparsifier owns one worker's gradient residual (error-feedback) buffer
+// and performs the local selection steps of Algorithms 1/2/4:
+//
+//	G^g_i   = G^g_{i-1} + ∇L(W_i, D^g_i)   (accumulate into residual)
+//	thr     = k-th largest |G^g_i|
+//	G̃^g_i  = G^g_i ⊙ Mask                  (selected top-k)
+//	G^g_i   = G^g_i ⊙ ¬Mask                 (keep the rest as residual)
+type Sparsifier struct {
+	dim      int
+	residual []float32
+}
+
+// NewSparsifier creates a sparsifier for a dim-parameter model with a
+// zeroed residual (Algorithm 1 line 1: G^g_0 = 0).
+func NewSparsifier(dim int) *Sparsifier {
+	return &Sparsifier{dim: dim, residual: make([]float32, dim)}
+}
+
+// Dim returns the dense gradient dimension.
+func (s *Sparsifier) Dim() int { return s.dim }
+
+// Residual exposes the residual buffer (read-only by convention; tests
+// use it to verify mass conservation).
+func (s *Sparsifier) Residual() []float32 { return s.residual }
+
+// ResidualNorm returns the L2 norm of the residual, a convergence
+// diagnostic ("how much gradient signal is still waiting locally").
+func (s *Sparsifier) ResidualNorm() float64 { return tensor.L2Norm(s.residual) }
+
+// Select accumulates grad into the residual, extracts the k
+// largest-magnitude entries as a sparse vector, and leaves everything
+// else in the residual. The returned vector aliases no internal state.
+func (s *Sparsifier) Select(grad []float32, k int) (*sparse.Vector, error) {
+	if len(grad) != s.dim {
+		return nil, fmt.Errorf("core: gradient dim %d, sparsifier dim %d", len(grad), s.dim)
+	}
+	if k < 0 || k > s.dim {
+		return nil, fmt.Errorf("core: k=%d out of range [0,%d]", k, s.dim)
+	}
+	tensor.AddInto(s.residual, grad)
+	selected := sparse.TopK(s.residual, k)
+	for _, idx := range selected.Indices {
+		s.residual[idx] = 0
+	}
+	return selected, nil
+}
+
+// PutBack re-deposits entries of local that did NOT survive the global
+// selection (Algorithm 4 line 10: G^g_i += G̃^g_i ⊙ ¬gMask ⊙ Mask).
+// globalIndices are the dense indices that survived; they must be sorted
+// ascending (as produced by every constructor in package sparse).
+func (s *Sparsifier) PutBack(local *sparse.Vector, globalIndices []int32) {
+	j := 0
+	for i, idx := range local.Indices {
+		for j < len(globalIndices) && globalIndices[j] < idx {
+			j++
+		}
+		if j < len(globalIndices) && globalIndices[j] == idx {
+			continue // survived globally: consumed by the update
+		}
+		s.residual[idx] += local.Values[i]
+	}
+}
+
+// RestoreResidual overwrites the residual from a checkpoint.
+func (s *Sparsifier) RestoreResidual(residual []float32) error {
+	if len(residual) != s.dim {
+		return fmt.Errorf("core: restore residual dim %d, want %d", len(residual), s.dim)
+	}
+	copy(s.residual, residual)
+	return nil
+}
+
+// Reset zeroes the residual (used between experiment repetitions).
+func (s *Sparsifier) Reset() {
+	for i := range s.residual {
+		s.residual[i] = 0
+	}
+}
+
+// DensityToK converts a density ρ into the per-worker selection count
+// k = ρ·m, clamped to [1, m] (the paper always selects at least one
+// gradient; ρ=0.001 on small test models must not round down to zero).
+func DensityToK(dim int, density float64) int {
+	k := int(density * float64(dim))
+	if k < 1 {
+		k = 1
+	}
+	if k > dim {
+		k = dim
+	}
+	return k
+}

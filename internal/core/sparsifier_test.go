@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/sparse"
+)
+
+func TestSparsifierSelectBasic(t *testing.T) {
+	sp := NewSparsifier(6)
+	grad := []float32{0.1, -5, 0.2, 3, -0.3, 0.4}
+	sel, err := sp.Select(grad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", sel.NNZ())
+	}
+	// Largest magnitudes are -5 (idx 1) and 3 (idx 3).
+	if sel.Indices[0] != 1 || sel.Indices[1] != 3 {
+		t.Fatalf("indices = %v, want [1 3]", sel.Indices)
+	}
+	// Selected positions must be zeroed in the residual; others kept.
+	res := sp.Residual()
+	if res[1] != 0 || res[3] != 0 {
+		t.Fatalf("selected entries not cleared: %v", res)
+	}
+	if res[0] != 0.1 || res[4] != -0.3 {
+		t.Fatalf("unselected entries lost: %v", res)
+	}
+}
+
+func TestSparsifierAccumulatesResidual(t *testing.T) {
+	// A small gradient repeated builds up in the residual until it wins
+	// selection — the error-feedback property Top-k convergence relies on.
+	sp := NewSparsifier(2)
+	grad := []float32{1.0, 0.4}
+	for i := 0; i < 2; i++ {
+		sel, err := sp.Select(grad, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Indices[0] != 0 {
+			t.Fatalf("step %d selected %v", i, sel.Indices)
+		}
+	}
+	// Residual at index 1 is now 0.8; next gradient makes it 1.2 > 1.0.
+	sel, err := sp.Select(grad, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Indices[0] != 1 {
+		t.Fatalf("accumulated small gradient never selected: %v", sel.Indices)
+	}
+	if math.Abs(float64(sel.Values[0])-1.2) > 1e-6 {
+		t.Fatalf("accumulated value = %v, want 1.2", sel.Values[0])
+	}
+}
+
+func TestSparsifierMassConservation(t *testing.T) {
+	// residual_before + grad == residual_after + selected, exactly.
+	src := prng.New(3)
+	sp := NewSparsifier(100)
+	for step := 0; step < 10; step++ {
+		grad := make([]float32, 100)
+		for i := range grad {
+			grad[i] = float32(src.NormFloat64())
+		}
+		before := append([]float32(nil), sp.Residual()...)
+		sel, err := sp.Select(grad, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := append([]float32(nil), sp.Residual()...)
+		sel.ScatterAdd(after)
+		for i := range after {
+			if want := before[i] + grad[i]; after[i] != want {
+				t.Fatalf("step %d elem %d: mass not conserved: %v vs %v", step, i, after[i], want)
+			}
+		}
+	}
+}
+
+func TestSparsifierDimMismatch(t *testing.T) {
+	sp := NewSparsifier(4)
+	if _, err := sp.Select(make([]float32, 5), 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := sp.Select(make([]float32, 4), 5); err == nil {
+		t.Error("k > dim accepted")
+	}
+	if _, err := sp.Select(make([]float32, 4), -1); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestPutBack(t *testing.T) {
+	sp := NewSparsifier(8)
+	local := &sparse.Vector{
+		Dim:     8,
+		Indices: []int32{1, 3, 5},
+		Values:  []float32{10, 20, 30},
+	}
+	// Global selection kept only index 3.
+	sp.PutBack(local, []int32{3})
+	res := sp.Residual()
+	if res[1] != 10 || res[5] != 30 {
+		t.Fatalf("dropped values not returned: %v", res)
+	}
+	if res[3] != 0 {
+		t.Fatalf("surviving value returned to residual: %v", res)
+	}
+}
+
+func TestPutBackEmptyGlobal(t *testing.T) {
+	sp := NewSparsifier(4)
+	local := &sparse.Vector{Dim: 4, Indices: []int32{0, 2}, Values: []float32{1, 2}}
+	sp.PutBack(local, nil)
+	if sp.Residual()[0] != 1 || sp.Residual()[2] != 2 {
+		t.Fatalf("all values should return: %v", sp.Residual())
+	}
+}
+
+func TestSparsifierReset(t *testing.T) {
+	sp := NewSparsifier(3)
+	if _, err := sp.Select([]float32{1, 2, 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	sp.Reset()
+	if sp.ResidualNorm() != 0 {
+		t.Fatalf("Reset left residual norm %v", sp.ResidualNorm())
+	}
+}
+
+func TestDensityToK(t *testing.T) {
+	cases := []struct {
+		dim  int
+		rho  float64
+		want int
+	}{
+		{1000, 0.001, 1},
+		{25000000, 0.001, 25000},
+		{100, 0.5, 50},
+		{10, 0.0001, 1}, // clamped up
+		{10, 2.0, 10},   // clamped down
+		{2000, 0.005, 10},
+	}
+	for _, tt := range cases {
+		if got := DensityToK(tt.dim, tt.rho); got != tt.want {
+			t.Errorf("DensityToK(%d, %v) = %d, want %d", tt.dim, tt.rho, got, tt.want)
+		}
+	}
+}
+
+// Property: selection + residual always reconstruct the accumulated
+// gradient exactly, for any k.
+func TestQuickSelectConservation(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		const dim = 64
+		k := int(kRaw%64) + 1
+		src := prng.New(seed)
+		sp := NewSparsifier(dim)
+		grad := make([]float32, dim)
+		for i := range grad {
+			grad[i] = float32(src.NormFloat64())
+		}
+		sel, err := sp.Select(grad, k)
+		if err != nil || sel.NNZ() != k {
+			return false
+		}
+		recon := append([]float32(nil), sp.Residual()...)
+		sel.ScatterAdd(recon)
+		for i := range recon {
+			if recon[i] != grad[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gtopkssgd/internal/tensor"
+)
+
+// GradFn computes one worker's mini-batch gradient for iteration iter at
+// the given weights, writing it into grad (len(grad) == len(weights)),
+// and returns the mini-batch training loss. The weights slice must not be
+// mutated.
+type GradFn func(iter int, weights, grad []float32) float64
+
+// TrainConfig holds the optimizer hyper-parameters shared by all S-SGD
+// variants. The paper uses momentum SGD with momentum 0.9 for every model
+// (Section IV-A).
+type TrainConfig struct {
+	LR       float32 // learning rate η
+	Momentum float32 // momentum coefficient (0 disables)
+	GradClip float32 // per-element clip applied to the aggregated update (0 disables)
+}
+
+// Validate rejects non-sensical hyper-parameters.
+func (c TrainConfig) Validate() error {
+	if c.LR <= 0 {
+		return fmt.Errorf("core: learning rate %v must be positive", c.LR)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("core: momentum %v out of [0,1)", c.Momentum)
+	}
+	if c.GradClip < 0 {
+		return fmt.Errorf("core: grad clip %v must be non-negative", c.GradClip)
+	}
+	return nil
+}
+
+// Trainer drives one worker's S-SGD loop: compute local gradient →
+// aggregate via the configured algorithm → apply the identical update on
+// every replica. Because the aggregated update is bit-identical across
+// ranks (all aggregators guarantee this), replicas never diverge and no
+// parameter re-synchronisation is needed.
+// PhaseTimes carries one iteration's wall-clock phase durations to an
+// observer installed with SetPhaseHook.
+type PhaseTimes struct {
+	Compute   time.Duration // gradient computation (forward + backward)
+	Aggregate time.Duration // sparsification + communication
+	Update    time.Duration // momentum + weight update
+}
+
+type Trainer struct {
+	cfg      TrainConfig
+	agg      Aggregator
+	gradFn   GradFn
+	weights  []float32
+	velocity []float32
+	grad     []float32
+	iter     int
+	onPhases func(iter int, pt PhaseTimes)
+}
+
+// NewTrainer assembles a trainer. The weights slice is owned by the
+// trainer afterwards; every rank must pass identically initialised
+// weights (same seed) or replicas diverge from step one.
+func NewTrainer(cfg TrainConfig, agg Aggregator, weights []float32, gradFn GradFn) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if agg == nil || gradFn == nil {
+		return nil, fmt.Errorf("core: trainer needs an aggregator and a gradient function")
+	}
+	return &Trainer{
+		cfg:      cfg,
+		agg:      agg,
+		gradFn:   gradFn,
+		weights:  weights,
+		velocity: make([]float32, len(weights)),
+		grad:     make([]float32, len(weights)),
+	}, nil
+}
+
+// Weights exposes the current parameters (mutated by Step).
+func (t *Trainer) Weights() []float32 { return t.weights }
+
+// Iter returns the number of completed steps.
+func (t *Trainer) Iter() int { return t.iter }
+
+// SetPhaseHook installs an observer that receives each iteration's
+// wall-clock phase durations (e.g. a trace.Recorder). Pass nil to remove.
+func (t *Trainer) SetPhaseHook(fn func(iter int, pt PhaseTimes)) { t.onPhases = fn }
+
+// Velocity exposes the momentum buffer (for checkpointing).
+func (t *Trainer) Velocity() []float32 { return t.velocity }
+
+// Restore resets the iteration counter and momentum buffer from a
+// checkpoint. The weights are restored by the caller (they alias the
+// model's parameter buffer); velocity length must match.
+func (t *Trainer) Restore(iter int, velocity []float32) error {
+	if iter < 0 {
+		return fmt.Errorf("core: restore with negative iteration %d", iter)
+	}
+	if len(velocity) != len(t.velocity) {
+		return fmt.Errorf("core: restore velocity dim %d, want %d", len(velocity), len(t.velocity))
+	}
+	t.iter = iter
+	copy(t.velocity, velocity)
+	return nil
+}
+
+// SetLR updates the learning rate (for decay schedules).
+func (t *Trainer) SetLR(lr float32) error {
+	if lr <= 0 {
+		return fmt.Errorf("core: learning rate %v must be positive", lr)
+	}
+	t.cfg.LR = lr
+	return nil
+}
+
+// Step runs one S-SGD iteration and returns the local mini-batch loss.
+func (t *Trainer) Step(ctx context.Context) (float64, error) {
+	for i := range t.grad {
+		t.grad[i] = 0
+	}
+	var pt PhaseTimes
+	start := time.Now()
+	loss := t.gradFn(t.iter, t.weights, t.grad)
+	pt.Compute = time.Since(start)
+
+	start = time.Now()
+	update, err := t.agg.Aggregate(ctx, t.grad)
+	if err != nil {
+		return 0, fmt.Errorf("core: step %d: %w", t.iter, err)
+	}
+	pt.Aggregate = time.Since(start)
+
+	start = time.Now()
+	if t.cfg.GradClip > 0 {
+		tensor.Clip(update, t.cfg.GradClip)
+	}
+	if t.cfg.Momentum > 0 {
+		for i, u := range update {
+			t.velocity[i] = t.cfg.Momentum*t.velocity[i] + u
+		}
+		tensor.AxpyInto(t.weights, -t.cfg.LR, t.velocity)
+	} else {
+		tensor.AxpyInto(t.weights, -t.cfg.LR, update)
+	}
+	pt.Update = time.Since(start)
+
+	if t.onPhases != nil {
+		t.onPhases(t.iter, pt)
+	}
+	t.iter++
+	return loss, nil
+}

@@ -1,0 +1,155 @@
+// Package netsim models communication time on low-bandwidth networks with
+// the α-β (latency-bandwidth) model used throughout the paper.
+//
+// The paper measures, on its 32-node 1 Gbps Ethernet cluster,
+// α = 0.436 ms startup latency and β = 3.6e-5 ms transmission time per
+// element (Fig. 8; elements are 4-byte float32 values). All timing
+// results (Figs 8-11, Table IV) follow from this model plus the
+// collectives' round structure (Table I). Since this reproduction runs on
+// one machine, wall-clock time says nothing about 1GbE behaviour; instead
+// every experiment charges simulated time through this package, using the
+// paper's measured constants by default.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gtopkssgd/internal/prng"
+)
+
+// Model is the α-β communication cost model. Alpha is the per-message
+// startup latency; Beta the per-element (float32) transmission time.
+type Model struct {
+	Alpha time.Duration // startup latency per message
+	Beta  time.Duration // transfer time per 4-byte element
+}
+
+// Paper1GbE returns the model with the constants measured in the paper on
+// its 1 Gbps Ethernet testbed (Section IV-C): α = 0.436 ms,
+// β = 3.6e-5 ms per element.
+func Paper1GbE() Model {
+	return Model{
+		Alpha: 436 * time.Microsecond,
+		Beta:  36 * time.Nanosecond,
+	}
+}
+
+// TenGbE returns an illustrative 10 Gbps Ethernet model: one tenth the
+// per-element time and a lower (switch-bound) startup latency. Used by
+// the bandwidth-sensitivity ablation, not by the paper.
+func TenGbE() Model {
+	return Model{
+		Alpha: 100 * time.Microsecond,
+		Beta:  4 * time.Nanosecond, // ~3.6ns rounded to the ns grid
+
+	}
+}
+
+// PointToPoint returns the modelled time to transfer n elements between
+// two nodes: α + nβ.
+func (m Model) PointToPoint(n int) time.Duration {
+	return m.Alpha + time.Duration(n)*m.Beta
+}
+
+// DenseAllReduce returns the ring-AllReduce time for a dense vector of
+// nElems elements across p workers (paper Eq. 5):
+//
+//	t = 2(P−1)α + 2·(P−1)/P·mβ
+func (m Model) DenseAllReduce(p, nElems int) time.Duration {
+	if p < 2 {
+		return 0
+	}
+	alphaTerm := time.Duration(2*(p-1)) * m.Alpha
+	betaTerm := time.Duration(2 * float64(p-1) / float64(p) * float64(nElems) * float64(m.Beta))
+	return alphaTerm + betaTerm
+}
+
+// TopKAllReduce returns the AllGather-based sparse aggregation time for
+// k selected gradients across p workers (paper Eq. 6):
+//
+//	t = log(P)α + 2(P−1)kβ
+//
+// The factor 2k accounts for transferring values and indices.
+func (m Model) TopKAllReduce(p, k int) time.Duration {
+	if p < 2 {
+		return 0
+	}
+	alphaTerm := time.Duration(math.Log2(float64(p)) * float64(m.Alpha))
+	betaTerm := time.Duration(2*(p-1)*k) * m.Beta
+	return alphaTerm + betaTerm
+}
+
+// GTopKAllReduce returns the tree-reduction + broadcast time of the
+// paper's gTopKAllReduce (Eq. 7):
+//
+//	t = 2·log(P)α + 4k·log(P)β
+//
+// Each of the logP reduction rounds moves 2k elements (values+indices) to
+// the surviving worker, and the flat-tree broadcast of the global top-k
+// costs the same again.
+func (m Model) GTopKAllReduce(p, k int) time.Duration {
+	if p < 2 {
+		return 0
+	}
+	logP := math.Log2(float64(p))
+	alphaTerm := time.Duration(2 * logP * float64(m.Alpha))
+	betaTerm := time.Duration(4 * float64(k) * logP * float64(m.Beta))
+	return alphaTerm + betaTerm
+}
+
+// Link is a point-to-point channel with multiplicative jitter, used to
+// produce the "measured" scatter around the α-β line in the Fig. 8
+// reproduction. Jitter is the fractional standard deviation of a
+// log-normal noise factor (0.05 reproduces the paper's error bars).
+type Link struct {
+	Model  Model
+	Jitter float64
+	rng    *prng.Source
+}
+
+// NewLink creates a jittered link over model m seeded deterministically.
+func NewLink(m Model, jitter float64, seed uint64) *Link {
+	return &Link{Model: m, Jitter: jitter, rng: prng.New(seed)}
+}
+
+// Transfer returns a sampled transfer time for n elements:
+// (α + nβ)·exp(σ·Z) with Z standard normal.
+func (l *Link) Transfer(n int) time.Duration {
+	base := float64(l.Model.PointToPoint(n))
+	if l.Jitter <= 0 {
+		return time.Duration(base)
+	}
+	noise := math.Exp(l.Jitter * l.rng.NormFloat64())
+	return time.Duration(base * noise)
+}
+
+// Clock accumulates simulated time for one worker. Collectives and
+// trainers advance it; experiments read it. The zero value is a clock at
+// time zero.
+type Clock struct {
+	now time.Duration
+}
+
+// Advance moves the clock forward by d (negative d is rejected).
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: Advance(%v) with negative duration", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time;
+// used when a worker waits for a message that arrives at absolute time t.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPaperConstants(t *testing.T) {
+	m := Paper1GbE()
+	if m.Alpha != 436*time.Microsecond {
+		t.Errorf("Alpha = %v, want 436µs", m.Alpha)
+	}
+	if m.Beta != 36*time.Nanosecond {
+		t.Errorf("Beta = %v, want 36ns", m.Beta)
+	}
+}
+
+func TestPointToPointLinear(t *testing.T) {
+	m := Paper1GbE()
+	t0 := m.PointToPoint(0)
+	if t0 != m.Alpha {
+		t.Errorf("PointToPoint(0) = %v, want alpha %v", t0, m.Alpha)
+	}
+	// Doubling elements doubles only the beta term.
+	d1 := m.PointToPoint(1000) - t0
+	d2 := m.PointToPoint(2000) - t0
+	if d2 != 2*d1 {
+		t.Errorf("beta term not linear: %v vs %v", d1, d2)
+	}
+}
+
+func TestPointToPointMatchesPaperScale(t *testing.T) {
+	// Paper Fig. 8: transferring 1e6 parameters takes roughly 36 ms + alpha
+	// (beta term = 1e6 * 3.6e-5 ms = 36 ms).
+	m := Paper1GbE()
+	got := m.PointToPoint(1_000_000)
+	want := 436*time.Microsecond + 36*time.Millisecond
+	if got != want {
+		t.Errorf("PointToPoint(1e6) = %v, want %v", got, want)
+	}
+}
+
+func TestDenseAllReduceFormula(t *testing.T) {
+	m := Model{Alpha: time.Millisecond, Beta: time.Microsecond}
+	// P=4, m=1000: 2*3*1ms + 2*(3/4)*1000*1µs = 6ms + 1.5ms.
+	got := m.DenseAllReduce(4, 1000)
+	want := 6*time.Millisecond + 1500*time.Microsecond
+	if got != want {
+		t.Errorf("DenseAllReduce = %v, want %v", got, want)
+	}
+	if m.DenseAllReduce(1, 1000) != 0 {
+		t.Error("single worker should cost 0")
+	}
+}
+
+func TestTopKAllReduceFormula(t *testing.T) {
+	m := Model{Alpha: time.Millisecond, Beta: time.Microsecond}
+	// P=8, k=100: log2(8)*1ms + 2*7*100*1µs = 3ms + 1.4ms.
+	got := m.TopKAllReduce(8, 100)
+	want := 3*time.Millisecond + 1400*time.Microsecond
+	if got != want {
+		t.Errorf("TopKAllReduce = %v, want %v", got, want)
+	}
+}
+
+func TestGTopKAllReduceFormula(t *testing.T) {
+	m := Model{Alpha: time.Millisecond, Beta: time.Microsecond}
+	// P=8, k=100: 2*3*1ms + 4*100*3*1µs = 6ms + 1.2ms.
+	got := m.GTopKAllReduce(8, 100)
+	want := 6*time.Millisecond + 1200*time.Microsecond
+	if got != want {
+		t.Errorf("GTopKAllReduce = %v, want %v", got, want)
+	}
+}
+
+func TestCrossoverGTopKBeatsTopKAtScale(t *testing.T) {
+	// The paper's headline claim (Fig. 9 left): with m=25e6, rho=0.001,
+	// TopKAllReduce is competitive at small P but much slower at P >= 16.
+	m := Paper1GbE()
+	k := 25000 // 0.001 * 25e6
+	if m.GTopKAllReduce(4, k) > 2*m.TopKAllReduce(4, k) {
+		t.Error("at P=4 gTopK should be within 2x of TopK")
+	}
+	for _, p := range []int{16, 32, 64, 128} {
+		if m.GTopKAllReduce(p, k) >= m.TopKAllReduce(p, k) {
+			t.Errorf("P=%d: gTopK (%v) should beat TopK (%v)",
+				p, m.GTopKAllReduce(p, k), m.TopKAllReduce(p, k))
+		}
+	}
+}
+
+func TestDenseWorstAtLargeModel(t *testing.T) {
+	// Dense ring AllReduce on the full 25e6-element model must dwarf both
+	// sparse methods at any P on 1GbE.
+	m := Paper1GbE()
+	const elems = 25_000_000
+	k := elems / 1000
+	for _, p := range []int{4, 32} {
+		dense := m.DenseAllReduce(p, elems)
+		if dense <= m.TopKAllReduce(p, k) || dense <= m.GTopKAllReduce(p, k) {
+			t.Errorf("P=%d: dense (%v) should be slowest", p, dense)
+		}
+	}
+}
+
+func TestLinkJitterStatistics(t *testing.T) {
+	l := NewLink(Paper1GbE(), 0.05, 42)
+	base := float64(l.Model.PointToPoint(100000))
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += float64(l.Transfer(100000))
+	}
+	mean := sum / n
+	// Log-normal with sigma=0.05 has mean exp(sigma^2/2) ~ 1.00125 x base.
+	if math.Abs(mean/base-1) > 0.02 {
+		t.Errorf("jittered mean %.0f deviates from base %.0f", mean, base)
+	}
+}
+
+func TestLinkNoJitterDeterministic(t *testing.T) {
+	l := NewLink(Paper1GbE(), 0, 1)
+	a, b := l.Transfer(512), l.Transfer(512)
+	if a != b || a != l.Model.PointToPoint(512) {
+		t.Errorf("jitter-free transfer not deterministic: %v %v", a, b)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock not at 0")
+	}
+	c.Advance(3 * time.Second)
+	c.AdvanceTo(2 * time.Second) // earlier: no-op
+	if c.Now() != 3*time.Second {
+		t.Fatalf("AdvanceTo moved clock backwards: %v", c.Now())
+	}
+	c.AdvanceTo(5 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Fatalf("AdvanceTo = %v, want 5s", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Second)
+}

@@ -1,0 +1,278 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/tensor"
+)
+
+// LSTMLM is a word/character-level LSTM language model: embedding →
+// single LSTM layer (gate order i, f, g, o) → linear projection to the
+// vocabulary, trained with softmax cross-entropy at every timestep. It is
+// the reproduction's analogue of the paper's 2-layer LSTM-PTB model,
+// scaled to CPU budgets; its parameters and gradients are flat float32
+// vectors so the sparsifying aggregators treat it exactly like the CNNs.
+type LSTMLM struct {
+	V, E, H int // vocabulary, embedding and hidden sizes
+
+	params, grads []float32
+	// parameter views
+	embed, wx, wh, b, wy, by       []float32
+	gEmbed, gWx, gWh, gB, gWy, gBy []float32
+}
+
+// NewLSTMLM allocates the model with its own flat parameter buffers.
+func NewLSTMLM(vocab, embed, hidden int) *LSTMLM {
+	if vocab < 2 || embed < 1 || hidden < 1 {
+		panic(fmt.Sprintf("nn: LSTMLM(%d,%d,%d): invalid sizes", vocab, embed, hidden))
+	}
+	m := &LSTMLM{V: vocab, E: embed, H: hidden}
+	n := m.ParamCount()
+	m.params = make([]float32, n)
+	m.grads = make([]float32, n)
+	m.bind()
+	return m
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (m *LSTMLM) ParamCount() int {
+	return m.V*m.E + m.E*4*m.H + m.H*4*m.H + 4*m.H + m.H*m.V + m.V
+}
+
+func (m *LSTMLM) bind() {
+	split := func(buf []float32, sizes ...int) [][]float32 {
+		out := make([][]float32, len(sizes))
+		off := 0
+		for i, s := range sizes {
+			out[i] = buf[off : off+s]
+			off += s
+		}
+		return out
+	}
+	sizes := []int{m.V * m.E, m.E * 4 * m.H, m.H * 4 * m.H, 4 * m.H, m.H * m.V, m.V}
+	p := split(m.params, sizes...)
+	g := split(m.grads, sizes...)
+	m.embed, m.wx, m.wh, m.b, m.wy, m.by = p[0], p[1], p[2], p[3], p[4], p[5]
+	m.gEmbed, m.gWx, m.gWh, m.gB, m.gWy, m.gBy = g[0], g[1], g[2], g[3], g[4], g[5]
+}
+
+// Parameters returns the flat parameter vector.
+func (m *LSTMLM) Parameters() []float32 { return m.params }
+
+// Gradients returns the flat gradient vector.
+func (m *LSTMLM) Gradients() []float32 { return m.grads }
+
+// ZeroGrad clears the accumulated gradients.
+func (m *LSTMLM) ZeroGrad() {
+	for i := range m.grads {
+		m.grads[i] = 0
+	}
+}
+
+// Init initialises all weight matrices with Xavier-style scaling and sets
+// the forget-gate bias to 1 (the standard trick that stabilises early
+// LSTM training).
+func (m *LSTMLM) Init(seed uint64) {
+	src := prng.New(seed)
+	initMat := func(buf []float32, fanIn int) {
+		std := float32(math.Sqrt(1 / float64(fanIn)))
+		for i := range buf {
+			buf[i] = std * float32(src.NormFloat64())
+		}
+	}
+	initMat(m.embed, m.E)
+	initMat(m.wx, m.E)
+	initMat(m.wh, m.H)
+	initMat(m.wy, m.H)
+	for i := range m.b {
+		m.b[i] = 0
+	}
+	for i := m.H; i < 2*m.H; i++ {
+		m.b[i] = 1 // forget gate bias
+	}
+	for i := range m.by {
+		m.by[i] = 0
+	}
+}
+
+// lstmCache keeps one timestep's activations for BPTT.
+type lstmCache struct {
+	x          *tensor.Matrix // embedded inputs (B×E)
+	i, f, g, o *tensor.Matrix // gate activations (B×H)
+	c, tc      *tensor.Matrix // cell state and tanh(cell) (B×H)
+	hPrev      *tensor.Matrix
+	cPrev      *tensor.Matrix
+	tokens     []int
+}
+
+// Loss runs teacher-forced forward + backward over a batch of sequences
+// and returns the mean per-token cross-entropy. inputs and targets are
+// [batch][time] token ids with identical shapes; gradients accumulate
+// into the flat gradient buffer (call ZeroGrad first).
+func (m *LSTMLM) Loss(inputs, targets [][]int) (float64, error) {
+	bsz := len(inputs)
+	if bsz == 0 || len(targets) != bsz {
+		return 0, fmt.Errorf("nn: lstm loss: %d inputs, %d targets", bsz, len(targets))
+	}
+	T := len(inputs[0])
+	for s := range inputs {
+		if len(inputs[s]) != T || len(targets[s]) != T {
+			return 0, fmt.Errorf("nn: lstm loss: ragged sequences at row %d", s)
+		}
+	}
+
+	wxM := tensor.FromSlice(m.E, 4*m.H, m.wx)
+	whM := tensor.FromSlice(m.H, 4*m.H, m.wh)
+	wyM := tensor.FromSlice(m.H, m.V, m.wy)
+
+	h := tensor.NewMatrix(bsz, m.H)
+	c := tensor.NewMatrix(bsz, m.H)
+	caches := make([]*lstmCache, T)
+	dLogitsAll := make([]*tensor.Matrix, T)
+	var totalLoss float64
+
+	z := tensor.NewMatrix(bsz, 4*m.H)
+	zh := tensor.NewMatrix(bsz, 4*m.H)
+	for t := 0; t < T; t++ {
+		// Embed tokens.
+		x := tensor.NewMatrix(bsz, m.E)
+		tokens := make([]int, bsz)
+		for s := 0; s < bsz; s++ {
+			tok := inputs[s][t]
+			if tok < 0 || tok >= m.V {
+				return 0, fmt.Errorf("nn: lstm loss: token %d out of vocab %d", tok, m.V)
+			}
+			tokens[s] = tok
+			copy(x.Row(s), m.embed[tok*m.E:(tok+1)*m.E])
+		}
+		// Gates: z = x·Wx + h·Wh + b.
+		tensor.MatMul(z, x, wxM)
+		tensor.MatMul(zh, h, whM)
+		tensor.AddInto(z.Data, zh.Data)
+		tensor.AddBiasRows(z, m.b)
+
+		cache := &lstmCache{
+			x: x, tokens: tokens,
+			i: tensor.NewMatrix(bsz, m.H), f: tensor.NewMatrix(bsz, m.H),
+			g: tensor.NewMatrix(bsz, m.H), o: tensor.NewMatrix(bsz, m.H),
+			c: tensor.NewMatrix(bsz, m.H), tc: tensor.NewMatrix(bsz, m.H),
+			hPrev: h.Clone(), cPrev: c.Clone(),
+		}
+		hNext := tensor.NewMatrix(bsz, m.H)
+		for s := 0; s < bsz; s++ {
+			zr := z.Row(s)
+			for j := 0; j < m.H; j++ {
+				iv := sigmoid(zr[j])
+				fv := sigmoid(zr[m.H+j])
+				gv := float32(math.Tanh(float64(zr[2*m.H+j])))
+				ov := sigmoid(zr[3*m.H+j])
+				cv := fv*c.At(s, j) + iv*gv
+				tcv := float32(math.Tanh(float64(cv)))
+				cache.i.Set(s, j, iv)
+				cache.f.Set(s, j, fv)
+				cache.g.Set(s, j, gv)
+				cache.o.Set(s, j, ov)
+				cache.c.Set(s, j, cv)
+				cache.tc.Set(s, j, tcv)
+				hNext.Set(s, j, ov*tcv)
+			}
+		}
+		c = cache.c.Clone()
+		h = hNext
+		caches[t] = cache
+
+		// Output projection and loss.
+		logits := tensor.NewMatrix(bsz, m.V)
+		tensor.MatMul(logits, h, wyM)
+		tensor.AddBiasRows(logits, m.by)
+		labels := make([]int, bsz)
+		for s := 0; s < bsz; s++ {
+			lab := targets[s][t]
+			if lab < 0 || lab >= m.V {
+				return 0, fmt.Errorf("nn: lstm loss: target %d out of vocab %d", lab, m.V)
+			}
+			labels[s] = lab
+		}
+		stepLoss, dlogits := SoftmaxCrossEntropy(logits, labels)
+		totalLoss += stepLoss
+		// Scale so the total is the mean over all B·T predictions.
+		tensor.Scale(dlogits.Data, 1/float32(T))
+		dLogitsAll[t] = dlogits
+	}
+
+	// BPTT.
+	gWxM := tensor.FromSlice(m.E, 4*m.H, m.gWx)
+	gWhM := tensor.FromSlice(m.H, 4*m.H, m.gWh)
+	gWyM := tensor.FromSlice(m.H, m.V, m.gWy)
+	dh := tensor.NewMatrix(bsz, m.H)
+	dc := tensor.NewMatrix(bsz, m.H)
+	dz := tensor.NewMatrix(bsz, 4*m.H)
+	tmpEH := tensor.NewMatrix(m.E, 4*m.H)
+	tmpHH := tensor.NewMatrix(m.H, 4*m.H)
+	tmpHV := tensor.NewMatrix(m.H, m.V)
+	dhFromZ := tensor.NewMatrix(bsz, m.H)
+	dx := tensor.NewMatrix(bsz, m.E)
+	for t := T - 1; t >= 0; t-- {
+		cache := caches[t]
+		// h_t = o*tc (recompute; avoids storing every h).
+		hT := tensor.NewMatrix(bsz, m.H)
+		for s := 0; s < bsz; s++ {
+			for j := 0; j < m.H; j++ {
+				hT.Set(s, j, cache.o.At(s, j)*cache.tc.At(s, j))
+			}
+		}
+		// Output projection gradients: dWy += hᵀ·dlogits, dby += Σ.
+		tensor.MatMulTransA(tmpHV, hT, dLogitsAll[t])
+		tensor.AddInto(gWyM.Data, tmpHV.Data)
+		tensor.SumRowsInto(m.gBy, dLogitsAll[t])
+		// dh += dlogits·Wyᵀ.
+		dhOut := tensor.NewMatrix(bsz, m.H)
+		tensor.MatMulTransB(dhOut, dLogitsAll[t], wyM)
+		tensor.AddInto(dh.Data, dhOut.Data)
+
+		// Gate backward.
+		for s := 0; s < bsz; s++ {
+			for j := 0; j < m.H; j++ {
+				iv, fv, gv, ov := cache.i.At(s, j), cache.f.At(s, j), cache.g.At(s, j), cache.o.At(s, j)
+				tcv := cache.tc.At(s, j)
+				dhv := dh.At(s, j)
+				dcv := dc.At(s, j) + dhv*ov*(1-tcv*tcv)
+				dov := dhv * tcv
+				div := dcv * gv
+				dgv := dcv * iv
+				dfv := dcv * cache.cPrev.At(s, j)
+				dc.Set(s, j, dcv*fv) // flows to previous step
+				dz.Set(s, j, div*iv*(1-iv))
+				dz.Set(s, m.H+j, dfv*fv*(1-fv))
+				dz.Set(s, 2*m.H+j, dgv*(1-gv*gv))
+				dz.Set(s, 3*m.H+j, dov*ov*(1-ov))
+			}
+		}
+		// Parameter gradients.
+		tensor.MatMulTransA(tmpEH, cache.x, dz)
+		tensor.AddInto(gWxM.Data, tmpEH.Data)
+		tensor.MatMulTransA(tmpHH, cache.hPrev, dz)
+		tensor.AddInto(gWhM.Data, tmpHH.Data)
+		tensor.SumRowsInto(m.gB, dz)
+		// dh for the previous step and embedding gradients.
+		wxMT := tensor.FromSlice(m.E, 4*m.H, m.wx)
+		tensor.MatMulTransB(dx, dz, wxMT)
+		for s := 0; s < bsz; s++ {
+			tok := cache.tokens[s]
+			tensor.AddInto(m.gEmbed[tok*m.E:(tok+1)*m.E], dx.Row(s))
+		}
+		whMT := tensor.FromSlice(m.H, 4*m.H, m.wh)
+		tensor.MatMulTransB(dhFromZ, dz, whMT)
+		copy(dh.Data, dhFromZ.Data)
+	}
+	return totalLoss / float64(T), nil
+}
+
+// Perplexity converts a mean per-token cross-entropy loss to perplexity.
+func Perplexity(meanLoss float64) float64 { return math.Exp(meanLoss) }
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}

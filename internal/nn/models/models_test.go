@@ -1,0 +1,211 @@
+package models
+
+import (
+	"context"
+	"testing"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/data"
+	"gtopkssgd/internal/nn"
+)
+
+func TestModelShapesAndForward(t *testing.T) {
+	ds, err := data.NewImages(1, 10, 3, 8, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsAlex, err := data.NewImages(1, 10, 3, 16, 16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		cls *Classifier
+		ds  *data.Images
+	}{
+		{VGG16Sim(), ds},
+		{ResNet20Sim(), ds},
+		{ResNet50Sim(), ds},
+		{AlexNetSim(), dsAlex},
+		{MLP(3*8*8, 32, 10), ds},
+	}
+	for _, tt := range tests {
+		t.Run(tt.cls.Name, func(t *testing.T) {
+			tt.cls.Net.Init(42)
+			if tt.cls.Net.ParamCount() < 100 {
+				t.Fatalf("suspiciously few params: %d", tt.cls.Net.ParamCount())
+			}
+			x, labels := tt.ds.Batch(0, 0, 1, 4)
+			logits := tt.cls.Net.Forward(x, true)
+			if logits.Rows != 4 || logits.Cols != tt.cls.Classes {
+				t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+			}
+			loss, dlogits := nn.SoftmaxCrossEntropy(logits, labels)
+			if loss <= 0 || loss > 20 {
+				t.Fatalf("initial loss %v out of sane range", loss)
+			}
+			tt.cls.Net.ZeroGrad()
+			tt.cls.Net.Backward(dlogits)
+			var nonzero int
+			for _, g := range tt.cls.Net.Gradients() {
+				if g != 0 {
+					nonzero++
+				}
+			}
+			if nonzero < tt.cls.Net.ParamCount()/10 {
+				t.Fatalf("only %d/%d gradients nonzero", nonzero, tt.cls.Net.ParamCount())
+			}
+		})
+	}
+}
+
+func TestVGGIsDenseHeavyResNetIsNot(t *testing.T) {
+	vgg, rn := VGG16Sim(), ResNet20Sim()
+	if vgg.Net.ParamCount() < 5*rn.Net.ParamCount() {
+		t.Fatalf("vgg %d params should dwarf resnet %d (fc-heavy vs conv)",
+			vgg.Net.ParamCount(), rn.Net.ParamCount())
+	}
+}
+
+func TestSingleWorkerTrainingReducesLoss(t *testing.T) {
+	ds, err := data.NewImages(5, 10, 3, 8, 8, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := MLP(ds.Dim(), 32, 10)
+	cls.Net.Init(7)
+	results, err := core.RunCluster(context.Background(),
+		core.ClusterConfig{Workers: 1, Steps: 60},
+		func(rank int, comm *collective.Comm) (*core.Trainer, error) {
+			agg := core.NewDenseAggregator(comm, cls.Net.ParamCount())
+			return core.NewTrainer(core.TrainConfig{LR: 0.1, Momentum: 0.9}, agg,
+				cls.Net.Parameters(), GradFn(cls, ds, rank, 1, 16))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := avg(results[0].Losses[:10])
+	last := avg(results[0].Losses[50:])
+	if last > first*0.7 {
+		t.Fatalf("loss did not drop: first %v last %v", first, last)
+	}
+}
+
+func TestDistributedGTopKTrainingOnCNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker CNN training is slow")
+	}
+	ds, err := data.NewImages(5, 10, 3, 8, 8, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p, steps = 4, 40
+	results, err := core.RunCluster(context.Background(),
+		core.ClusterConfig{Workers: p, Steps: steps},
+		func(rank int, comm *collective.Comm) (*core.Trainer, error) {
+			cls := ResNet20Sim()
+			cls.Net.Init(99) // same seed everywhere: identical replicas
+			dim := cls.Net.ParamCount()
+			agg, err := core.NewGTopKAggregator(comm, dim, core.DensityToK(dim, 0.01))
+			if err != nil {
+				return nil, err
+			}
+			return core.NewTrainer(core.TrainConfig{LR: 0.05, Momentum: 0.9}, agg,
+				cls.Net.Parameters(), GradFn(cls, ds, rank, p, 8))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < p; r++ {
+		for i := range results[0].FinalWeights {
+			if results[r].FinalWeights[i] != results[0].FinalWeights[i] {
+				t.Fatalf("replica %d diverged at weight %d", r, i)
+			}
+		}
+	}
+	first := avg(results[0].Losses[:5])
+	last := avg(results[0].Losses[steps-5:])
+	if last > first {
+		t.Fatalf("gTop-k CNN training diverged: first %v last %v", first, last)
+	}
+}
+
+func TestLSTMTrainingReducesLoss(t *testing.T) {
+	corpus, err := data.NewText(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := LSTMPTBSim()
+	m.Init(11)
+	const steps = 120
+	results, err := core.RunCluster(context.Background(),
+		core.ClusterConfig{Workers: 1, Steps: steps},
+		func(rank int, comm *collective.Comm) (*core.Trainer, error) {
+			agg := core.NewDenseAggregator(comm, m.ParamCount())
+			return core.NewTrainer(core.TrainConfig{LR: 2.0, GradClip: 0.25}, agg,
+				m.Parameters(), LSTMGradFn(m, corpus, rank, 1, 16, 16))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := avg(results[0].Losses[:5])
+	last := avg(results[0].Losses[steps-10:])
+	if last > first*0.9 {
+		t.Fatalf("LSTM loss did not drop: first %v last %v", first, last)
+	}
+	if pp := nn.Perplexity(last); pp >= 64 {
+		t.Fatalf("perplexity %v not below vocab size", pp)
+	}
+}
+
+func TestEvalAccuracyAboveChance(t *testing.T) {
+	ds, err := data.NewImages(5, 10, 3, 8, 8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := MLP(ds.Dim(), 48, 10)
+	cls.Net.Init(13)
+	results, err := core.RunCluster(context.Background(),
+		core.ClusterConfig{Workers: 1, Steps: 150},
+		func(rank int, comm *collective.Comm) (*core.Trainer, error) {
+			agg := core.NewDenseAggregator(comm, cls.Net.ParamCount())
+			return core.NewTrainer(core.TrainConfig{LR: 0.1, Momentum: 0.9}, agg,
+				cls.Net.Parameters(), GradFn(cls, ds, rank, 1, 16))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = results
+	acc := EvalAccuracy(cls, ds, 5, 32)
+	if acc < 0.3 {
+		t.Fatalf("eval accuracy %v barely above chance", acc)
+	}
+}
+
+func TestPaperModelsMetadata(t *testing.T) {
+	pms := PaperModels()
+	if len(pms) != 4 {
+		t.Fatalf("expected 4 paper models, got %d", len(pms))
+	}
+	byName := map[string]PaperModel{}
+	for _, pm := range pms {
+		if pm.Params <= 0 || pm.TfTbMs <= 0 || pm.BatchPerWorker <= 0 {
+			t.Errorf("%s: non-positive metadata", pm.Name)
+		}
+		byName[pm.Name] = pm
+	}
+	if byName["AlexNet"].Params <= byName["VGG-16"].Params {
+		t.Error("AlexNet must have the most parameters")
+	}
+	if byName["ResNet-20"].Params >= byName["VGG-16"].Params {
+		t.Error("ResNet-20 must be the smallest model")
+	}
+}
+
+func avg(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,290 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/tensor"
+)
+
+func TestNetworkParamBinding(t *testing.T) {
+	net := NewNetwork(NewDense(3, 4), NewReLU(), NewDense(4, 2))
+	wantParams := 3*4 + 4 + 4*2 + 2
+	if net.ParamCount() != wantParams {
+		t.Fatalf("ParamCount = %d, want %d", net.ParamCount(), wantParams)
+	}
+	net.Init(1)
+	// Mutating the flat parameter vector must change layer behaviour:
+	// zero everything and the output must be zero.
+	for i := range net.Parameters() {
+		net.Parameters()[i] = 0
+	}
+	x := tensor.FromSlice(1, 3, []float32{1, 2, 3})
+	out := net.Forward(x, false)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("zeroed network produced %v", out.Data)
+		}
+	}
+}
+
+func TestNetworkInitDeterministic(t *testing.T) {
+	a := NewNetwork(NewDense(5, 5))
+	b := NewNetwork(NewDense(5, 5))
+	a.Init(9)
+	b.Init(9)
+	for i := range a.Parameters() {
+		if a.Parameters()[i] != b.Parameters()[i] {
+			t.Fatal("same seed produced different parameters")
+		}
+	}
+	c := NewNetwork(NewDense(5, 5))
+	c.Init(10)
+	same := true
+	for i := range a.Parameters() {
+		if a.Parameters()[i] != c.Parameters()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical parameters")
+	}
+}
+
+func TestNetworkZeroGrad(t *testing.T) {
+	net := NewNetwork(NewDense(2, 2))
+	net.Init(1)
+	x := tensor.FromSlice(1, 2, []float32{1, 1})
+	out := net.Forward(x, true)
+	_, dl := SoftmaxCrossEntropy(out, []int{0})
+	net.Backward(dl)
+	net.ZeroGrad()
+	for _, g := range net.Gradients() {
+		if g != 0 {
+			t.Fatal("ZeroGrad left nonzero gradient")
+		}
+	}
+}
+
+func TestLayerBounds(t *testing.T) {
+	net := NewNetwork(NewDense(3, 4), NewReLU(), NewDense(4, 2), NewTanh())
+	got := net.LayerBounds()
+	want := []int{0, 16, 26}
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSummaryListsLayers(t *testing.T) {
+	net := NewNetwork(NewDense(3, 4), NewReLU())
+	s := net.Summary()
+	if !strings.Contains(s, "dense 3→4") || !strings.Contains(s, "relu") {
+		t.Fatalf("summary missing layers:\n%s", s)
+	}
+	if !strings.Contains(s, "16 params") {
+		t.Fatalf("summary missing counts:\n%s", s)
+	}
+}
+
+func TestSoftmaxCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.FromSlice(1, 4, []float32{0, 0, 0, 0})
+	loss, grad := SoftmaxCrossEntropy(logits, []int{2})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	// Gradient: p - onehot = [.25 .25 -.75 .25].
+	want := []float32{0.25, 0.25, -0.75, 0.25}
+	for i, v := range grad.Data {
+		if math.Abs(float64(v-want[i])) > 1e-6 {
+			t.Fatalf("grad = %v, want %v", grad.Data, want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyNumericallyStable(t *testing.T) {
+	logits := tensor.FromSlice(1, 2, []float32{1000, -1000})
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss = %v", loss)
+	}
+	if loss > 1e-6 {
+		t.Fatalf("confident correct prediction should have ~0 loss, got %v", loss)
+	}
+	for _, v := range grad.Data {
+		if math.IsNaN(float64(v)) {
+			t.Fatal("NaN gradient")
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyPanicsOnBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad label did not panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.NewMatrix(1, 3), []int{7})
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice(3, 2, []float32{
+		2, 1, // -> 0
+		0, 5, // -> 1
+		3, 4, // -> 1
+	})
+	if got := Accuracy(logits, []int{0, 1, 0}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if Accuracy(tensor.NewMatrix(0, 2), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	if got := Perplexity(math.Log(64)); math.Abs(got-64) > 1e-9 {
+		t.Fatalf("Perplexity(ln64) = %v", got)
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm(2)
+	net := NewNetwork(bn)
+	net.Init(1)
+	src := prng.New(2)
+	// Train on shifted data to move the running statistics.
+	for i := 0; i < 50; i++ {
+		x := tensor.NewMatrix(8, 2)
+		for j := range x.Data {
+			x.Data[j] = 5 + float32(src.NormFloat64())
+		}
+		net.Forward(x, true)
+	}
+	// Eval on the training distribution: output should be ~N(0,1).
+	x := tensor.NewMatrix(64, 2)
+	for j := range x.Data {
+		x.Data[j] = 5 + float32(src.NormFloat64())
+	}
+	out := net.Forward(x, false)
+	var mean float64
+	for _, v := range out.Data {
+		mean += float64(v)
+	}
+	mean /= float64(len(out.Data))
+	if math.Abs(mean) > 0.3 {
+		t.Fatalf("eval-mode mean %v; running stats not applied", mean)
+	}
+}
+
+func TestReLUForwardBackwardShapes(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice(1, 4, []float32{-1, 2, -3, 4})
+	out := r.Forward(x, true)
+	want := []float32{0, 2, 0, 4}
+	for i, v := range out.Data {
+		if v != want[i] {
+			t.Fatalf("relu = %v", out.Data)
+		}
+	}
+	din := r.Backward(tensor.FromSlice(1, 4, []float32{1, 1, 1, 1}))
+	wantD := []float32{0, 1, 0, 1}
+	for i, v := range din.Data {
+		if v != wantD[i] {
+			t.Fatalf("relu backward = %v", din.Data)
+		}
+	}
+}
+
+func TestDensePanicsOnBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad input width did not panic")
+		}
+	}()
+	d := NewDense(3, 2)
+	net := NewNetwork(d)
+	net.Init(1)
+	d.Forward(tensor.NewMatrix(1, 5), true)
+}
+
+func TestConvGeometry(t *testing.T) {
+	c := NewConv2D(3, 8, 8, 16, 3, 1, 1)
+	if c.OH != 8 || c.OW != 8 {
+		t.Fatalf("same-pad conv output %dx%d", c.OH, c.OW)
+	}
+	c2 := NewConv2D(1, 6, 6, 2, 3, 2, 0)
+	if c2.OH != 2 || c2.OW != 2 {
+		t.Fatalf("strided conv output %dx%d", c2.OH, c2.OW)
+	}
+}
+
+func TestConvPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kernel larger than input did not panic")
+		}
+	}()
+	NewConv2D(1, 2, 2, 1, 5, 1, 0)
+}
+
+func TestMaxPoolRequiresEvenDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd pooling dims did not panic")
+		}
+	}()
+	NewMaxPool2(1, 3, 4)
+}
+
+func TestLSTMRejectsBadInput(t *testing.T) {
+	m := NewLSTMLM(4, 2, 3)
+	m.Init(1)
+	if _, err := m.Loss(nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := m.Loss([][]int{{0, 1}}, [][]int{{0}}); err == nil {
+		t.Error("ragged targets accepted")
+	}
+	if _, err := m.Loss([][]int{{9}}, [][]int{{0}}); err == nil {
+		t.Error("out-of-vocab token accepted")
+	}
+	if _, err := m.Loss([][]int{{0}}, [][]int{{9}}); err == nil {
+		t.Error("out-of-vocab target accepted")
+	}
+}
+
+func TestLSTMDeterministicLoss(t *testing.T) {
+	mk := func() float64 {
+		m := NewLSTMLM(8, 4, 6)
+		m.Init(3)
+		m.ZeroGrad()
+		loss, err := m.Loss([][]int{{1, 2, 3}}, [][]int{{2, 3, 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	if mk() != mk() {
+		t.Fatal("LSTM loss not deterministic")
+	}
+}
+
+func TestResidualRequiresShapePreservingBody(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-changing body did not panic")
+		}
+	}()
+	r := NewResidual(NewDense(4, 6))
+	net := NewNetwork(r)
+	net.Init(1)
+	r.Forward(tensor.NewMatrix(1, 4), true)
+}

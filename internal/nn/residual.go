@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/tensor"
+)
+
+// Residual wraps a body of layers with an identity skip connection and a
+// trailing ReLU: y = relu(body(x) + x). The body must preserve shape
+// (as the 3×3 same-padded convolutions in the ResNet models do).
+type Residual struct {
+	body []Layer
+	mask []bool
+	n    int
+}
+
+// NewResidual creates a residual block around body.
+func NewResidual(body ...Layer) *Residual {
+	n := 0
+	for _, l := range body {
+		n += l.ParamCount()
+	}
+	return &Residual{body: body, n: n}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return fmt.Sprintf("residual (%d inner)", len(r.body)) }
+
+// ParamCount implements Layer.
+func (r *Residual) ParamCount() int { return r.n }
+
+// Bind implements Layer by distributing the views across the body.
+func (r *Residual) Bind(params, grads []float32) {
+	off := 0
+	for _, l := range r.body {
+		c := l.ParamCount()
+		l.Bind(params[off:off+c], grads[off:off+c])
+		off += c
+	}
+}
+
+// Init implements Layer.
+func (r *Residual) Init(src *prng.Source) {
+	for i, l := range r.body {
+		l.Init(src.Split(uint64(i)))
+	}
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	y := x
+	for _, l := range r.body {
+		y = l.Forward(y, train)
+	}
+	if y.Rows != x.Rows || y.Cols != x.Cols {
+		panic(fmt.Sprintf("nn: residual body changed shape %dx%d → %dx%d",
+			x.Rows, x.Cols, y.Rows, y.Cols))
+	}
+	out := y.Clone()
+	tensor.AddInto(out.Data, x.Data)
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dsum := dout.Clone()
+	for i := range dsum.Data {
+		if !r.mask[i] {
+			dsum.Data[i] = 0
+		}
+	}
+	dbody := dsum
+	for i := len(r.body) - 1; i >= 0; i-- {
+		dbody = r.body[i].Backward(dbody)
+	}
+	din := dbody.Clone()
+	tensor.AddInto(din.Data, dsum.Data) // skip path
+	return din
+}

@@ -1,0 +1,93 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format for a sparse vector, little-endian:
+//
+//	uint32 dim | uint32 nnz | nnz × int32 index | nnz × float32 value
+//
+// This matches the paper's accounting: transferring a top-k sparse
+// gradient costs 2k elements (k indices + k values) plus an 8-byte header.
+
+// headerBytes is the fixed encoding overhead (dim + nnz fields).
+const headerBytes = 8
+
+// EncodedSize returns the number of bytes Encode will produce for a vector
+// with nnz stored entries.
+func EncodedSize(nnz int) int { return headerBytes + 8*nnz }
+
+// Encode serialises v into the wire format above.
+func Encode(v *Vector) []byte {
+	buf := make([]byte, EncodedSize(v.NNZ()))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(v.Dim))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(v.NNZ()))
+	off := headerBytes
+	for _, idx := range v.Indices {
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(idx))
+		off += 4
+	}
+	for _, val := range v.Values {
+		binary.LittleEndian.PutUint32(buf[off:off+4], math.Float32bits(val))
+		off += 4
+	}
+	return buf
+}
+
+// Decode parses the wire format, validating structure. It returns an error
+// (never panics) on truncated or corrupt input, as transport payloads are
+// untrusted at this layer.
+func Decode(buf []byte) (*Vector, error) {
+	if len(buf) < headerBytes {
+		return nil, fmt.Errorf("sparse: decode: short buffer (%d bytes)", len(buf))
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[0:4]))
+	nnz := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if want := EncodedSize(nnz); len(buf) != want {
+		return nil, fmt.Errorf("sparse: decode: %d bytes for nnz=%d, want %d", len(buf), nnz, want)
+	}
+	v := &Vector{Dim: dim, Indices: make([]int32, nnz), Values: make([]float32, nnz)}
+	off := headerBytes
+	for i := 0; i < nnz; i++ {
+		v.Indices[i] = int32(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+	}
+	for i := 0; i < nnz; i++ {
+		v.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+	}
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("sparse: decode: %w", err)
+	}
+	return v, nil
+}
+
+// EncodeDense serialises a dense float32 vector (uint32 length prefix then
+// raw little-endian float32s). Used by the dense AllReduce wire path.
+func EncodeDense(x []float32) []byte {
+	buf := make([]byte, 4+4*len(x))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(x)))
+	for i, v := range x {
+		binary.LittleEndian.PutUint32(buf[4+4*i:8+4*i], math.Float32bits(v))
+	}
+	return buf
+}
+
+// DecodeDense parses the EncodeDense format.
+func DecodeDense(buf []byte) ([]float32, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("sparse: decode dense: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if len(buf) != 4+4*n {
+		return nil, fmt.Errorf("sparse: decode dense: %d bytes for n=%d", len(buf), n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4+4*i : 8+4*i]))
+	}
+	return out, nil
+}

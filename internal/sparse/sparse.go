@@ -1,0 +1,275 @@
+// Package sparse implements the sparse-gradient machinery of the paper:
+// magnitude top-k selection over dense gradient vectors, the compact
+// [values, indices] representation exchanged between workers, and the
+// Top-k merge operator "⊕" of Definition 1 used by gTopKAllReduce.
+//
+// Conventions follow the paper: for a model with m parameters and density
+// ρ, k = ρ·m gradients survive selection; everything else stays in the
+// worker-local residual (error feedback), handled by package core.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Vector is a sparse view of a length-Dim dense vector: Values[i] lives at
+// dense position Indices[i]. Indices are unique and kept in ascending
+// order by every constructor in this package (ascending order makes the
+// merge in Add a linear scan and wire encodings canonical).
+type Vector struct {
+	Dim     int
+	Indices []int32
+	Values  []float32
+}
+
+// ErrDimension reports incompatible dense dimensions in a binary operation.
+var ErrDimension = errors.New("sparse: dimension mismatch")
+
+// NNZ returns the number of stored (non-zero) entries.
+func (v *Vector) NNZ() int { return len(v.Indices) }
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return &Vector{
+		Dim:     v.Dim,
+		Indices: append([]int32(nil), v.Indices...),
+		Values:  append([]float32(nil), v.Values...),
+	}
+}
+
+// Validate checks the structural invariants (sorted unique in-range
+// indices, parallel slices) and returns a descriptive error on violation.
+func (v *Vector) Validate() error {
+	if len(v.Indices) != len(v.Values) {
+		return fmt.Errorf("sparse: %d indices but %d values", len(v.Indices), len(v.Values))
+	}
+	for i, idx := range v.Indices {
+		if idx < 0 || int(idx) >= v.Dim {
+			return fmt.Errorf("sparse: index %d out of range [0,%d)", idx, v.Dim)
+		}
+		if i > 0 && v.Indices[i-1] >= idx {
+			return fmt.Errorf("sparse: indices not strictly ascending at position %d", i)
+		}
+	}
+	return nil
+}
+
+// Dense scatters v into a freshly allocated dense vector.
+func (v *Vector) Dense() []float32 {
+	out := make([]float32, v.Dim)
+	for i, idx := range v.Indices {
+		out[idx] = v.Values[i]
+	}
+	return out
+}
+
+// ScatterAdd adds v into dst (len(dst) must equal v.Dim).
+func (v *Vector) ScatterAdd(dst []float32) {
+	if len(dst) != v.Dim {
+		panic(fmt.Sprintf("sparse: ScatterAdd into %d-dim buffer, vector dim %d", len(dst), v.Dim))
+	}
+	for i, idx := range v.Indices {
+		dst[idx] += v.Values[i]
+	}
+}
+
+// Scale multiplies every stored value by alpha in place.
+func (v *Vector) Scale(alpha float32) {
+	for i := range v.Values {
+		v.Values[i] *= alpha
+	}
+}
+
+// FromDense collects the non-zero entries of x into a sparse vector.
+func FromDense(x []float32) *Vector {
+	v := &Vector{Dim: len(x)}
+	for i, val := range x {
+		if val != 0 {
+			v.Indices = append(v.Indices, int32(i))
+			v.Values = append(v.Values, val)
+		}
+	}
+	return v
+}
+
+// Add returns the sparse sum a+b. The result's support is the union of the
+// operand supports; exact zero sums are kept (their index was touched, and
+// gTop-k treats "sent" and "zero" differently only via magnitude, so a
+// zero sum simply never survives a subsequent TopK).
+func Add(a, b *Vector) (*Vector, error) {
+	if a.Dim != b.Dim {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimension, a.Dim, b.Dim)
+	}
+	out := &Vector{
+		Dim:     a.Dim,
+		Indices: make([]int32, 0, len(a.Indices)+len(b.Indices)),
+		Values:  make([]float32, 0, len(a.Indices)+len(b.Indices)),
+	}
+	i, j := 0, 0
+	for i < len(a.Indices) && j < len(b.Indices) {
+		switch {
+		case a.Indices[i] < b.Indices[j]:
+			out.Indices = append(out.Indices, a.Indices[i])
+			out.Values = append(out.Values, a.Values[i])
+			i++
+		case a.Indices[i] > b.Indices[j]:
+			out.Indices = append(out.Indices, b.Indices[j])
+			out.Values = append(out.Values, b.Values[j])
+			j++
+		default:
+			out.Indices = append(out.Indices, a.Indices[i])
+			out.Values = append(out.Values, a.Values[i]+b.Values[j])
+			i, j = i+1, j+1
+		}
+	}
+	out.Indices = append(out.Indices, a.Indices[i:]...)
+	out.Values = append(out.Values, a.Values[i:]...)
+	out.Indices = append(out.Indices, b.Indices[j:]...)
+	out.Values = append(out.Values, b.Values[j:]...)
+	return out, nil
+}
+
+// Merge implements the paper's Definition 1: the Top-k operator ⊕ over
+// two sparse vectors. It returns TopK(a+b, k): the k largest-magnitude
+// entries of the element-wise sum (fewer if the union support is smaller).
+func Merge(a, b *Vector, k int) (*Vector, error) {
+	sum, err := Add(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return TopKSparse(sum, k), nil
+}
+
+// TopK selects the k largest-magnitude entries of the dense vector x.
+// Ties at the threshold magnitude are broken by lower dense index so the
+// result is deterministic across workers (essential: all replicas must
+// make identical selections from identical inputs).
+//
+// This is exactly Algorithm 1 lines 5-7 of the paper: find the k-th
+// largest |x_i| (quickselect, expected O(n)), then mask everything below
+// it in one ascending scan — which also yields the indices pre-sorted.
+func TopK(x []float32, k int) *Vector {
+	if k <= 0 {
+		return &Vector{Dim: len(x)}
+	}
+	if k >= len(x) {
+		return FromDense(x)
+	}
+	thr := Threshold(x, k)
+	// Count strict winners so the remaining quota goes to the
+	// lowest-index entries that tie exactly at the threshold.
+	strict := 0
+	for _, v := range x {
+		if abs32(v) > thr {
+			strict++
+		}
+	}
+	tieQuota := k - strict
+	out := &Vector{
+		Dim:     len(x),
+		Indices: make([]int32, 0, k),
+		Values:  make([]float32, 0, k),
+	}
+	for i, v := range x {
+		m := abs32(v)
+		switch {
+		case m > thr:
+			out.Indices = append(out.Indices, int32(i))
+			out.Values = append(out.Values, v)
+		case m == thr && tieQuota > 0:
+			out.Indices = append(out.Indices, int32(i))
+			out.Values = append(out.Values, v)
+			tieQuota--
+		}
+	}
+	return out
+}
+
+// TopKSparse selects the k largest-magnitude stored entries of v.
+func TopKSparse(v *Vector, k int) *Vector {
+	if k <= 0 {
+		return &Vector{Dim: v.Dim}
+	}
+	if k >= v.NNZ() {
+		return v.Clone()
+	}
+	pos := selectTopPositions(v.NNZ(), k,
+		func(i int) float32 { return abs32(v.Values[i]) },
+		func(i int) int32 { return v.Indices[i] })
+	out := &Vector{Dim: v.Dim, Indices: make([]int32, len(pos)), Values: make([]float32, len(pos))}
+	for i, p := range pos {
+		out.Indices[i] = v.Indices[p]
+		out.Values[i] = v.Values[p]
+	}
+	return out
+}
+
+// Threshold returns the k-th largest absolute value of x (the selection
+// threshold "thr" of Algorithm 1 line 5). k must be in [1, len(x)].
+func Threshold(x []float32, k int) float32 {
+	if k < 1 || k > len(x) {
+		panic(fmt.Sprintf("sparse: Threshold k=%d with %d elements", k, len(x)))
+	}
+	mags := make([]float32, len(x))
+	for i, v := range x {
+		mags[i] = abs32(v)
+	}
+	// Quickselect for the k-th largest magnitude.
+	lo, hi, want := 0, len(mags)-1, k-1
+	state := uint64(0x9e3779b97f4a7c15)
+	for lo < hi {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		p := lo + int(state%uint64(hi-lo+1))
+		pivot := mags[p]
+		mags[p], mags[hi] = mags[hi], mags[p]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if mags[i] > pivot {
+				mags[i], mags[store] = mags[store], mags[i]
+				store++
+			}
+		}
+		mags[store], mags[hi] = mags[hi], mags[store]
+		switch {
+		case store == want:
+			return mags[store]
+		case store < want:
+			lo = store + 1
+		default:
+			hi = store - 1
+		}
+	}
+	return mags[lo]
+}
+
+// selectTopPositions returns positions into
+// the caller's parallel slices, ordered so that the referenced dense
+// indices ascend. Ties at equal magnitude break toward the lower dense
+// index for cross-worker determinism.
+func selectTopPositions(n, k int, mag func(int) float32, denseIdx func(int) int32) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	sort.Slice(pos, func(a, b int) bool {
+		ma, mb := mag(pos[a]), mag(pos[b])
+		if ma != mb {
+			return ma > mb
+		}
+		return denseIdx(pos[a]) < denseIdx(pos[b])
+	})
+	pos = pos[:k]
+	sort.Slice(pos, func(a, b int) bool { return denseIdx(pos[a]) < denseIdx(pos[b]) })
+	return pos
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

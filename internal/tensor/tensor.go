@@ -1,0 +1,256 @@
+// Package tensor implements the dense float32 linear algebra used by the
+// neural-network substrate: flat vectors for parameters/gradients and a
+// row-major matrix type with cache-blocked multiplication.
+//
+// The paper trains with 32-bit floats ("All models are trained with 32-bit
+// floating points", Table III), so the element type here is float32;
+// reductions that feed metrics accumulate in float64 to avoid drift.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float32.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix(%d, %d): negative dimension", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice(%d, %d) with %d elements", rows, cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul computes dst = a * b. dst must be preallocated with shape
+// (a.Rows, b.Cols) and must not alias a or b. The k-loop is hoisted into
+// an axpy over rows of b, which vectorises well and is cache friendly for
+// the tall-skinny shapes produced by mini-batch training.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch: (%dx%d)*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			AxpyInto(drow, aik, brow)
+		}
+	}
+}
+
+// MatMulTransB computes dst = a * bᵀ. dst must have shape (a.Rows, b.Rows).
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch: (%dx%d)*(%dx%d)T->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = Dot(arow, b.Row(j))
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ * b. dst must have shape (a.Cols, b.Cols).
+func MatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch: (%dx%d)T*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i := 0; i < a.Cols; i++ {
+			ari := arow[i]
+			if ari == 0 {
+				continue
+			}
+			AxpyInto(dst.Row(i), ari, brow)
+		}
+	}
+}
+
+// AddBiasRows adds bias to every row of m in place.
+func AddBiasRows(m *Matrix, bias []float32) {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBiasRows: %d columns, %d bias terms", m.Cols, len(bias)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range bias {
+			row[j] += b
+		}
+	}
+}
+
+// SumRowsInto accumulates the column-wise sum of m into dst (dst += Σ rows).
+func SumRowsInto(dst []float32, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto: %d columns, %d dst terms", m.Cols, len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
+// Dot returns the inner product of a and b (same length required).
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch: %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AxpyInto computes dst += alpha * x element-wise.
+func AxpyInto(dst []float32, alpha float32, x []float32) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: AxpyInto length mismatch: %d vs %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(x []float32, alpha float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// AddInto computes dst += x element-wise.
+func AddInto(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: AddInto length mismatch: %d vs %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] += v
+	}
+}
+
+// SubInto computes dst -= x element-wise.
+func SubInto(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: SubInto length mismatch: %d vs %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] -= v
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// L2Norm returns the Euclidean norm of x, accumulated in float64.
+func L2Norm(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the float64 sum of x.
+func Sum(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute value in x (0 for empty input).
+func MaxAbs(x []float32) float32 {
+	var m float32
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element of x (-1 for empty x).
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clip bounds every element of x to [-limit, limit] in place.
+func Clip(x []float32, limit float32) {
+	for i, v := range x {
+		if v > limit {
+			x[i] = limit
+		} else if v < -limit {
+			x[i] = -limit
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gtopkssgd/internal/prng"
+)
+
+func randMatrix(src *prng.Source, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(src.NormFloat64())
+	}
+	return m
+}
+
+// naiveMatMul is the O(n^3) reference used to validate the blocked kernels.
+func naiveMatMul(a, b *Matrix, transA, transB bool) *Matrix {
+	ar, ac := a.Rows, a.Cols
+	if transA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.Rows, b.Cols
+	if transB {
+		br, bc = bc, br
+	}
+	if ac != br {
+		panic("naiveMatMul: shape mismatch")
+	}
+	out := NewMatrix(ar, bc)
+	get := func(m *Matrix, trans bool, i, j int) float32 {
+		if trans {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < bc; j++ {
+			var s float64
+			for k := 0; k < ac; k++ {
+				s += float64(get(a, transA, i, k)) * float64(get(b, transB, k, j))
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func matricesClose(t *testing.T, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape mismatch: got %dx%d want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if math.Abs(float64(v-want.Data[i])) > tol {
+			t.Fatalf("element %d: got %v want %v", i, v, want.Data[i])
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	src := prng.New(1)
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {7, 13, 3}, {16, 32, 8}, {33, 17, 29},
+	}
+	for _, s := range shapes {
+		a := randMatrix(src, s.m, s.k)
+		b := randMatrix(src, s.k, s.n)
+		dst := NewMatrix(s.m, s.n)
+		MatMul(dst, a, b)
+		matricesClose(t, dst, naiveMatMul(a, b, false, false), 1e-3)
+	}
+}
+
+func TestMatMulTransBMatchesNaive(t *testing.T) {
+	src := prng.New(2)
+	a := randMatrix(src, 9, 14)
+	b := randMatrix(src, 6, 14)
+	dst := NewMatrix(9, 6)
+	MatMulTransB(dst, a, b)
+	matricesClose(t, dst, naiveMatMul(a, b, false, true), 1e-3)
+}
+
+func TestMatMulTransAMatchesNaive(t *testing.T) {
+	src := prng.New(3)
+	a := randMatrix(src, 14, 9)
+	b := randMatrix(src, 14, 6)
+	dst := NewMatrix(9, 6)
+	MatMulTransA(dst, a, b)
+	matricesClose(t, dst, naiveMatMul(a, b, true, false), 1e-3)
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with mismatched shapes did not panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func TestAddBiasRows(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	AddBiasRows(m, []float32{10, 20, 30})
+	want := []float32{11, 22, 33, 14, 25, 36}
+	for i, v := range m.Data {
+		if v != want[i] {
+			t.Fatalf("element %d: got %v want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestSumRowsInto(t *testing.T) {
+	m := FromSlice(3, 2, []float32{1, 2, 3, 4, 5, 6})
+	dst := make([]float32, 2)
+	SumRowsInto(dst, m)
+	if dst[0] != 9 || dst[1] != 12 {
+		t.Fatalf("SumRowsInto = %v, want [9 12]", dst)
+	}
+}
+
+func TestDotAxpyScale(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	dst := []float32{1, 1, 1}
+	AxpyInto(dst, 2, a)
+	if dst[0] != 3 || dst[1] != 5 || dst[2] != 7 {
+		t.Fatalf("AxpyInto = %v, want [3 5 7]", dst)
+	}
+	Scale(dst, 0.5)
+	if dst[0] != 1.5 || dst[1] != 2.5 || dst[2] != 3.5 {
+		t.Fatalf("Scale = %v", dst)
+	}
+}
+
+func TestAddSubFill(t *testing.T) {
+	dst := []float32{1, 2, 3}
+	AddInto(dst, []float32{1, 1, 1})
+	SubInto(dst, []float32{2, 2, 2})
+	if dst[0] != 0 || dst[1] != 1 || dst[2] != 2 {
+		t.Fatalf("Add/Sub = %v, want [0 1 2]", dst)
+	}
+	Fill(dst, 7)
+	for _, v := range dst {
+		if v != 7 {
+			t.Fatalf("Fill = %v", dst)
+		}
+	}
+}
+
+func TestNormsAndStats(t *testing.T) {
+	x := []float32{3, -4}
+	if got := L2Norm(x); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("L2Norm = %v, want 5", got)
+	}
+	if got := Sum(x); got != -1 {
+		t.Fatalf("Sum = %v, want -1", got)
+	}
+	if got := MaxAbs(x); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+	if got := ArgMax([]float32{0, 9, 2}); got != 1 {
+		t.Fatalf("ArgMax = %v, want 1", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Fatalf("ArgMax(nil) = %v, want -1", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	x := []float32{-10, -0.5, 0.5, 10}
+	Clip(x, 1)
+	want := []float32{-1, -0.5, 0.5, 1}
+	for i, v := range x {
+		if v != want[i] {
+			t.Fatalf("Clip = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestQuickDotSymmetric(t *testing.T) {
+	f := func(raw []float32) bool {
+		a := raw
+		b := make([]float32, len(a))
+		for i := range b {
+			b[i] = a[len(a)-1-i]
+		}
+		d1, d2 := Dot(a, b), Dot(b, a)
+		return d1 == d2 || (math.IsNaN(float64(d1)) && math.IsNaN(float64(d2)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAxpyLinearity(t *testing.T) {
+	// (dst + a*x) + b*x == dst + (a+b)*x up to float error.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		src := prng.New(seed)
+		x := make([]float32, n)
+		base := make([]float32, n)
+		for i := range x {
+			x[i] = float32(src.NormFloat64())
+			base[i] = float32(src.NormFloat64())
+		}
+		alpha, beta := float32(0.25), float32(0.5)
+		lhs := append([]float32(nil), base...)
+		AxpyInto(lhs, alpha, x)
+		AxpyInto(lhs, beta, x)
+		rhs := append([]float32(nil), base...)
+		AxpyInto(rhs, alpha+beta, x)
+		for i := range lhs {
+			if math.Abs(float64(lhs[i]-rhs[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	src := prng.New(1)
+	a := randMatrix(src, 64, 64)
+	c := randMatrix(src, 64, 64)
+	dst := NewMatrix(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, a, c)
+	}
+}

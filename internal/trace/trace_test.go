@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTotalsAndFractions(t *testing.T) {
+	r := NewRecorder()
+	r.Record(0, PhaseCompute, 300*time.Millisecond)
+	r.Record(0, PhaseAggregate, 600*time.Millisecond)
+	r.Record(0, PhaseUpdate, 100*time.Millisecond)
+	r.Record(1, PhaseCompute, 300*time.Millisecond)
+
+	totals := r.Totals()
+	if totals[PhaseCompute] != 600*time.Millisecond {
+		t.Fatalf("compute total = %v", totals[PhaseCompute])
+	}
+	fr := r.Fractions()
+	if math.Abs(fr[PhaseCompute]-0.4615) > 0.01 {
+		t.Fatalf("compute fraction = %v", fr[PhaseCompute])
+	}
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder()
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	if len(r.Fractions()) != 0 {
+		t.Fatal("empty recorder has fractions")
+	}
+	if r.Summary() != "" {
+		t.Fatalf("empty summary: %q", r.Summary())
+	}
+}
+
+func TestWriteCSVOrdering(t *testing.T) {
+	r := NewRecorder()
+	r.Record(1, PhaseCompute, 5*time.Nanosecond)
+	r.Record(0, PhaseUpdate, 3*time.Nanosecond)
+	r.Record(0, PhaseAggregate, 7*time.Nanosecond)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "iter,phase,ns\n0,aggregate,7\n0,update,3\n1,compute,5\n"
+	if sb.String() != want {
+		t.Fatalf("csv:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(i, PhaseCompute, time.Duration(g+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("recorded %d events, want 800", r.Len())
+	}
+}
+
+func TestSummaryContainsPhases(t *testing.T) {
+	r := NewRecorder()
+	r.Record(0, PhaseCompute, time.Second)
+	r.Record(0, PhaseAggregate, time.Second)
+	s := r.Summary()
+	if !strings.Contains(s, "compute") || !strings.Contains(s, "aggregate") {
+		t.Fatalf("summary missing phases:\n%s", s)
+	}
+	if !strings.Contains(s, "50.0%") {
+		t.Fatalf("summary missing percentages:\n%s", s)
+	}
+}

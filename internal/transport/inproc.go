@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// mailKey identifies a FIFO queue of messages by (source rank, tag).
+type mailKey struct {
+	src, tag int
+}
+
+// mailbox is one rank's incoming message store: per-(src,tag) FIFO queues
+// guarded by a mutex/cond pair so receivers can block until a match
+// arrives. Unbounded queues model MPI's eager protocol, which is what the
+// paper's small sparse messages (2k elements) would use in practice.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[mailKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{queues: make(map[mailKey][][]byte)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) deposit(key mailKey, payload []byte) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.queues[key] = append(mb.queues[key], payload)
+	mb.cond.Broadcast()
+	return nil
+}
+
+func (mb *mailbox) collect(ctx context.Context, key mailKey) ([]byte, error) {
+	// Wake waiters if the context is cancelled while they block on the
+	// condition variable. The watcher goroutine exits as soon as collect
+	// returns.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if q := mb.queues[key]; len(q) > 0 {
+			payload := q[0]
+			if len(q) == 1 {
+				delete(mb.queues, key)
+			} else {
+				mb.queues[key] = q[1:]
+			}
+			return payload, nil
+		}
+		if mb.closed {
+			return nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// InProcFabric connects n ranks through in-memory mailboxes.
+type InProcFabric struct {
+	conns []*inProcConn
+}
+
+var _ Fabric = (*InProcFabric)(nil)
+
+// NewInProc creates an in-process fabric with n ranks.
+func NewInProc(n int) (*InProcFabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: fabric size %d < 1", n)
+	}
+	f := &InProcFabric{conns: make([]*inProcConn, n)}
+	boxes := make([]*mailbox, n)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	for i := range f.conns {
+		f.conns[i] = &inProcConn{rank: i, boxes: boxes}
+	}
+	return f, nil
+}
+
+// Conn returns rank's endpoint.
+func (f *InProcFabric) Conn(rank int) Conn { return f.conns[rank] }
+
+// Size returns the number of ranks.
+func (f *InProcFabric) Size() int { return len(f.conns) }
+
+// Close closes every endpoint.
+func (f *InProcFabric) Close() error {
+	for _, c := range f.conns {
+		c.Close() //nolint:errcheck // Close on inProcConn never fails.
+	}
+	return nil
+}
+
+type inProcConn struct {
+	rank  int
+	boxes []*mailbox // shared across all conns; boxes[r] is rank r's inbox
+}
+
+var _ Conn = (*inProcConn)(nil)
+
+func (c *inProcConn) Rank() int { return c.rank }
+func (c *inProcConn) Size() int { return len(c.boxes) }
+
+func (c *inProcConn) Send(ctx context.Context, dst, tag int, payload []byte) error {
+	if err := validatePeer(c.rank, dst, len(c.boxes)); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.boxes[dst].deposit(mailKey{src: c.rank, tag: tag}, payload)
+}
+
+func (c *inProcConn) Recv(ctx context.Context, src, tag int) ([]byte, error) {
+	if err := validatePeer(c.rank, src, len(c.boxes)); err != nil {
+		return nil, err
+	}
+	return c.boxes[c.rank].collect(ctx, mailKey{src: src, tag: tag})
+}
+
+func (c *inProcConn) Close() error {
+	c.boxes[c.rank].close()
+	return nil
+}

@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPFabric connects n ranks through a full mesh of TCP connections.
+// Frames are length-prefixed; each endpoint runs one reader goroutine per
+// peer connection that demultiplexes frames into the same mailbox
+// structure the in-process fabric uses, so matching semantics are
+// identical across fabrics.
+//
+// Frame layout (little-endian): uint32 tag | uint32 len | len bytes.
+type TCPFabric struct {
+	conns []*tcpConn
+}
+
+var _ Fabric = (*TCPFabric)(nil)
+
+// NewTCP creates a TCP fabric with n ranks listening on ephemeral
+// loopback ports and fully meshed. A rank dials every lower-numbered rank
+// and identifies itself with a 4-byte hello, mirroring how MPI wires up a
+// communicator over sockets.
+func NewTCP(n int) (*TCPFabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: fabric size %d < 1", n)
+	}
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll(listeners[:i])
+			return nil, fmt.Errorf("transport: listen for rank %d: %w", i, err)
+		}
+		listeners[i] = ln
+	}
+
+	f := &TCPFabric{conns: make([]*tcpConn, n)}
+	for i := range f.conns {
+		f.conns[i] = &tcpConn{
+			rank:  i,
+			size:  n,
+			peers: make([]*peerLink, n),
+			box:   newMailbox(),
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		acceptMu sync.Mutex
+		errs     []error
+	)
+	// Accept side: rank i accepts n-1-i connections from higher ranks.
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for a := 0; a < n-1-i; a++ {
+				sock, err := listeners[i].Accept()
+				if err != nil {
+					acceptMu.Lock()
+					errs = append(errs, fmt.Errorf("rank %d accept: %w", i, err))
+					acceptMu.Unlock()
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(sock, hello[:]); err != nil {
+					acceptMu.Lock()
+					errs = append(errs, fmt.Errorf("rank %d hello: %w", i, err))
+					acceptMu.Unlock()
+					return
+				}
+				peer := int(binary.LittleEndian.Uint32(hello[:]))
+				f.conns[i].attach(peer, sock)
+			}
+		}(i)
+	}
+	// Dial side: rank j dials all ranks i < j.
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for i := 0; i < j; i++ {
+				sock, err := net.Dial("tcp", listeners[i].Addr().String())
+				if err != nil {
+					acceptMu.Lock()
+					errs = append(errs, fmt.Errorf("rank %d dial %d: %w", j, i, err))
+					acceptMu.Unlock()
+					return
+				}
+				var hello [4]byte
+				binary.LittleEndian.PutUint32(hello[:], uint32(j))
+				if _, err := sock.Write(hello[:]); err != nil {
+					acceptMu.Lock()
+					errs = append(errs, fmt.Errorf("rank %d hello to %d: %w", j, i, err))
+					acceptMu.Unlock()
+					return
+				}
+				f.conns[j].attach(i, sock)
+			}
+		}(j)
+	}
+	wg.Wait()
+	closeAll(listeners)
+	if len(errs) > 0 {
+		f.Close() //nolint:errcheck // already failing; best-effort cleanup
+		return nil, fmt.Errorf("transport: mesh setup: %v", errs[0])
+	}
+	for _, c := range f.conns {
+		c.startReaders()
+	}
+	return f, nil
+}
+
+// Conn returns rank's endpoint.
+func (f *TCPFabric) Conn(rank int) Conn { return f.conns[rank] }
+
+// Size returns the number of ranks.
+func (f *TCPFabric) Size() int { return len(f.conns) }
+
+// Close closes every endpoint and underlying socket.
+func (f *TCPFabric) Close() error {
+	var first error
+	for _, c := range f.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func closeAll(lns []net.Listener) {
+	for _, ln := range lns {
+		if ln != nil {
+			ln.Close() //nolint:errcheck // teardown path
+		}
+	}
+}
+
+// peerLink is one TCP connection plus a write lock (frames from concurrent
+// senders must not interleave).
+type peerLink struct {
+	mu   sync.Mutex
+	sock net.Conn
+}
+
+type tcpConn struct {
+	rank, size int
+	peers      []*peerLink
+	box        *mailbox
+
+	mu      sync.Mutex
+	readers sync.WaitGroup
+	closed  bool
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func (c *tcpConn) attach(peer int, sock net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peers[peer] = &peerLink{sock: sock}
+}
+
+func (c *tcpConn) startReaders() {
+	for peer, link := range c.peers {
+		if link == nil {
+			continue
+		}
+		c.readers.Add(1)
+		go c.readLoop(peer, link.sock)
+	}
+}
+
+// readLoop demultiplexes incoming frames from one peer into the mailbox.
+// It exits on any read error (remote close, local close, corrupt frame).
+func (c *tcpConn) readLoop(peer int, sock net.Conn) {
+	defer c.readers.Done()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(sock, hdr[:]); err != nil {
+			return
+		}
+		tag := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		const maxFrame = 1 << 30
+		if n > maxFrame {
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(sock, payload); err != nil {
+			return
+		}
+		if err := c.box.deposit(mailKey{src: peer, tag: tag}, payload); err != nil {
+			return
+		}
+	}
+}
+
+func (c *tcpConn) Rank() int { return c.rank }
+func (c *tcpConn) Size() int { return c.size }
+
+func (c *tcpConn) Send(ctx context.Context, dst, tag int, payload []byte) error {
+	if err := validatePeer(c.rank, dst, c.size); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	link := c.peers[dst]
+	c.mu.Unlock()
+	if link == nil {
+		return fmt.Errorf("transport: rank %d has no link to %d", c.rank, dst)
+	}
+
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(tag))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	copy(frame[8:], payload)
+
+	link.mu.Lock()
+	defer link.mu.Unlock()
+	if _, err := link.sock.Write(frame); err != nil {
+		return fmt.Errorf("transport: send %d->%d: %w", c.rank, dst, err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv(ctx context.Context, src, tag int) ([]byte, error) {
+	if err := validatePeer(c.rank, src, c.size); err != nil {
+		return nil, err
+	}
+	return c.box.collect(ctx, mailKey{src: src, tag: tag})
+}
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	peers := c.peers
+	c.mu.Unlock()
+	for _, link := range peers {
+		if link != nil {
+			link.sock.Close() //nolint:errcheck // teardown path
+		}
+	}
+	c.box.close()
+	c.readers.Wait()
+	return nil
+}

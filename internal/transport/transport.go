@@ -1,0 +1,74 @@
+// Package transport provides the rank-addressed message-passing substrate
+// that replaces MPI point-to-point communication in this reproduction.
+//
+// Two interchangeable fabrics are provided:
+//
+//   - an in-process fabric (NewInProc) where each worker is a goroutine
+//     and messages travel through shared mailboxes — fast, deterministic,
+//     race-detector friendly; used by all experiments; and
+//   - a TCP fabric (NewTCP) establishing a full mesh of loopback (or real)
+//     sockets — demonstrates that the collectives run unchanged over a
+//     real network stack.
+//
+// Semantics mirror MPI two-sided communication: Send(dst, tag) blocks
+// until the message is accepted by the fabric, Recv(src, tag) blocks until
+// a matching message arrives, and messages between a fixed (src, dst, tag)
+// triple are delivered in send order.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Conn is one rank's endpoint into a fabric of Size() ranks.
+//
+// A Conn may be used from multiple goroutines. Recv calls with the same
+// (src, tag) from concurrent goroutines race for messages in FIFO order.
+type Conn interface {
+	// Rank returns this endpoint's identity in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the fabric.
+	Size() int
+	// Send delivers payload to dst with the given tag. The payload is
+	// owned by the fabric after Send returns; callers must not mutate it.
+	Send(ctx context.Context, dst, tag int, payload []byte) error
+	// Recv blocks until a message with the given source and tag arrives
+	// and returns its payload.
+	Recv(ctx context.Context, src, tag int) ([]byte, error)
+	// Close releases the endpoint. Blocked and future calls fail with
+	// ErrClosed.
+	Close() error
+}
+
+// Fabric is a set of connected endpoints, one per rank.
+type Fabric interface {
+	// Conn returns rank's endpoint.
+	Conn(rank int) Conn
+	// Size returns the number of ranks.
+	Size() int
+	// Close closes every endpoint.
+	Close() error
+}
+
+// Errors shared by fabric implementations.
+var (
+	// ErrClosed is returned by operations on a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrSelfSend is returned when a rank addresses itself; the
+	// collectives never need loopback sends and requiring the check
+	// catches index arithmetic bugs early.
+	ErrSelfSend = errors.New("transport: send to self")
+)
+
+// validatePeer checks that peer is a legal remote rank for self.
+func validatePeer(self, peer, size int) error {
+	if peer < 0 || peer >= size {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", peer, size)
+	}
+	if peer == self {
+		return ErrSelfSend
+	}
+	return nil
+}

@@ -1,0 +1,390 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fabricMaker lets every semantic test run against both fabrics.
+var fabricMakers = []struct {
+	name string
+	make func(n int) (Fabric, error)
+}{
+	{"inproc", func(n int) (Fabric, error) { return NewInProc(n) }},
+	{"tcp", func(n int) (Fabric, error) { return NewTCP(n) }},
+}
+
+func TestPingPong(t *testing.T) {
+	for _, fm := range fabricMakers {
+		t.Run(fm.name, func(t *testing.T) {
+			f, err := fm.make(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ctx := context.Background()
+
+			done := make(chan error, 1)
+			go func() {
+				msg, err := f.Conn(1).Recv(ctx, 0, 7)
+				if err != nil {
+					done <- err
+					return
+				}
+				done <- f.Conn(1).Send(ctx, 0, 8, append([]byte("pong:"), msg...))
+			}()
+
+			if err := f.Conn(0).Send(ctx, 1, 7, []byte("ping")); err != nil {
+				t.Fatal(err)
+			}
+			reply, err := f.Conn(0).Recv(ctx, 1, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(reply, []byte("pong:ping")) {
+				t.Fatalf("reply = %q", reply)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFIFOOrderPerTriple(t *testing.T) {
+	for _, fm := range fabricMakers {
+		t.Run(fm.name, func(t *testing.T) {
+			f, err := fm.make(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ctx := context.Background()
+			const n = 200
+			go func() {
+				for i := 0; i < n; i++ {
+					payload := []byte(fmt.Sprintf("msg-%04d", i))
+					if err := f.Conn(0).Send(ctx, 1, 3, payload); err != nil {
+						return
+					}
+				}
+			}()
+			for i := 0; i < n; i++ {
+				msg, err := f.Conn(1).Recv(ctx, 0, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := fmt.Sprintf("msg-%04d", i); string(msg) != want {
+					t.Fatalf("out of order: got %q want %q", msg, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	for _, fm := range fabricMakers {
+		t.Run(fm.name, func(t *testing.T) {
+			f, err := fm.make(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ctx := context.Background()
+			// Send tag 2 first, then tag 1; receiving tag 1 first must skip
+			// over the queued tag-2 message.
+			if err := f.Conn(0).Send(ctx, 1, 2, []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Conn(0).Send(ctx, 1, 1, []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			got1, err := f.Conn(1).Recv(ctx, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := f.Conn(1).Recv(ctx, 0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got1) != "one" || string(got2) != "two" {
+				t.Fatalf("tag matching broken: %q %q", got1, got2)
+			}
+		})
+	}
+}
+
+func TestSourceMatching(t *testing.T) {
+	for _, fm := range fabricMakers {
+		t.Run(fm.name, func(t *testing.T) {
+			f, err := fm.make(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ctx := context.Background()
+			if err := f.Conn(1).Send(ctx, 2, 0, []byte("from1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Conn(0).Send(ctx, 2, 0, []byte("from0")); err != nil {
+				t.Fatal(err)
+			}
+			got0, err := f.Conn(2).Recv(ctx, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got1, err := f.Conn(2).Recv(ctx, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got0) != "from0" || string(got1) != "from1" {
+				t.Fatalf("source matching broken: %q %q", got0, got1)
+			}
+		})
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, fm := range fabricMakers {
+		t.Run(fm.name, func(t *testing.T) {
+			const n = 5
+			f, err := fm.make(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			errCh := make(chan error, n)
+			for r := 0; r < n; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					conn := f.Conn(r)
+					for dst := 0; dst < n; dst++ {
+						if dst == r {
+							continue
+						}
+						payload := []byte{byte(r), byte(dst)}
+						if err := conn.Send(ctx, dst, 9, payload); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					for src := 0; src < n; src++ {
+						if src == r {
+							continue
+						}
+						msg, err := conn.Recv(ctx, src, 9)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if len(msg) != 2 || int(msg[0]) != src || int(msg[1]) != r {
+							errCh <- fmt.Errorf("rank %d: bad payload %v from %d", r, msg, src)
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestInvalidPeers(t *testing.T) {
+	for _, fm := range fabricMakers {
+		t.Run(fm.name, func(t *testing.T) {
+			f, err := fm.make(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ctx := context.Background()
+			if err := f.Conn(0).Send(ctx, 0, 0, nil); !errors.Is(err, ErrSelfSend) {
+				t.Errorf("self send: err = %v, want ErrSelfSend", err)
+			}
+			if err := f.Conn(0).Send(ctx, 5, 0, nil); err == nil {
+				t.Error("out-of-range send accepted")
+			}
+			if _, err := f.Conn(0).Recv(ctx, -1, 0); err == nil {
+				t.Error("out-of-range recv accepted")
+			}
+		})
+	}
+}
+
+func TestRecvContextCancel(t *testing.T) {
+	for _, fm := range fabricMakers {
+		t.Run(fm.name, func(t *testing.T) {
+			f, err := fm.make(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err = f.Conn(0).Recv(ctx, 1, 0)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want deadline exceeded", err)
+			}
+			if time.Since(start) > 2*time.Second {
+				t.Fatal("cancellation took too long")
+			}
+		})
+	}
+}
+
+func TestRecvUnblocksOnClose(t *testing.T) {
+	for _, fm := range fabricMakers {
+		t.Run(fm.name, func(t *testing.T) {
+			f, err := fm.make(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := f.Conn(0).Recv(context.Background(), 1, 0)
+				done <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			f.Conn(0).Close() //nolint:errcheck
+			select {
+			case err := <-done:
+				if !errors.Is(err, ErrClosed) {
+					t.Fatalf("err = %v, want ErrClosed", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Recv did not unblock on Close")
+			}
+			f.Close() //nolint:errcheck
+		})
+	}
+}
+
+func TestSendAfterCloseTCP(t *testing.T) {
+	f, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Conn(0).Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Conn(0).Send(context.Background(), 1, 0, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: err = %v, want ErrClosed", err)
+	}
+	f.Close() //nolint:errcheck
+}
+
+func TestLargePayloadTCP(t *testing.T) {
+	f, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctx := context.Background()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		f.Conn(0).Send(ctx, 1, 5, payload) //nolint:errcheck
+	}()
+	got, err := f.Conn(1).Recv(ctx, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large payload corrupted in transit")
+	}
+}
+
+func TestZeroRankFabricRejected(t *testing.T) {
+	if _, err := NewInProc(0); err == nil {
+		t.Error("NewInProc(0) accepted")
+	}
+	if _, err := NewTCP(0); err == nil {
+		t.Error("NewTCP(0) accepted")
+	}
+}
+
+func TestSingleRankFabric(t *testing.T) {
+	f, err := NewInProc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != 1 || f.Conn(0).Rank() != 0 {
+		t.Fatal("single-rank fabric misconfigured")
+	}
+}
+
+func BenchmarkInProcRoundTrip(b *testing.B) {
+	f, err := NewInProc(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ctx := context.Background()
+	payload := make([]byte, 8192)
+	go func() {
+		for {
+			msg, err := f.Conn(1).Recv(ctx, 0, 1)
+			if err != nil {
+				return
+			}
+			if err := f.Conn(1).Send(ctx, 0, 2, msg); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Conn(0).Send(ctx, 1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Conn(0).Recv(ctx, 1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	f, err := NewTCP(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ctx := context.Background()
+	payload := make([]byte, 8192)
+	go func() {
+		for {
+			msg, err := f.Conn(1).Recv(ctx, 0, 1)
+			if err != nil {
+				return
+			}
+			if err := f.Conn(1).Send(ctx, 0, 2, msg); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Conn(0).Send(ctx, 1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Conn(0).Recv(ctx, 1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,7 +21,7 @@ import (
 func main() {
 	var (
 		model    = flag.String("model", "resnet20sim", "model: vgg16sim|resnet20sim|alexnetsim|resnet50sim|lstm|mlp")
-		algo     = flag.String("algo", "gtopk", "algorithm: dense|topk|gtopk|gtopk-naive|gtopk-ps|gtopk-layerwise")
+		algo     = flag.String("algo", "gtopk", "algorithm: dense|topk|gtopk|gtopk-naive|gtopk-ps|gtopk-layerwise|gtopk-bucketed")
 		workers  = flag.Int("workers", 4, "number of simulated workers (power of two for gtopk)")
 		batch    = flag.Int("batch", 16, "mini-batch size per worker")
 		epochs   = flag.Int("epochs", 8, "number of epochs")

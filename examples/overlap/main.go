@@ -1,0 +1,130 @@
+// Overlap: bucketed gTop-k aggregation with communication/computation
+// overlap. Four simulated workers train the same classifier twice —
+// once with the serialized single-bucket gTop-k aggregator, once with
+// the bucketed pipeline (layer-aligned buckets on tag-isolated
+// sub-communicators, buckets handed off mid-backward-pass) — and the
+// α-β simulated clocks show what the overlap saves on a 1 GbE network.
+//
+// Run with:
+//
+//	go run ./examples/overlap
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"gtopkssgd"
+	"gtopkssgd/internal/data"
+	"gtopkssgd/internal/nn"
+	"gtopkssgd/internal/nn/models"
+)
+
+// deepMLP builds a four-hidden-layer perceptron so the bucketed pipeline
+// has four parameterised layers to bucket (models.MLP has only two).
+func deepMLP(in, classes int) *models.Classifier {
+	net := nn.NewNetwork(
+		nn.NewDense(in, 128), nn.NewReLU(),
+		nn.NewDense(128, 96), nn.NewReLU(),
+		nn.NewDense(96, 64), nn.NewReLU(),
+		nn.NewDense(64, classes),
+	)
+	return &models.Classifier{Name: "mlp4", Net: net, C: 1, H: 1, W: in, Classes: classes}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		workers = 4
+		batch   = 16
+		steps   = 60
+		density = 0.01
+		buckets = 4
+	)
+	ds, err := data.NewImages(7, 10, 3, 8, 8, 0.4)
+	if err != nil {
+		return err
+	}
+	model := gtopkssgd.Paper1GbE()
+
+	for _, mode := range []string{"serialized", "overlapped"} {
+		var rank0 *gtopkssgd.BucketedAggregator
+		results, err := gtopkssgd.RunCluster(context.Background(),
+			gtopkssgd.ClusterConfig{Workers: workers, Steps: steps, Model: &model},
+			func(rank int, comm *gtopkssgd.Comm) (*gtopkssgd.Trainer, error) {
+				cls := deepMLP(ds.Dim(), 10)
+				cls.Net.Init(42)
+				dim := cls.Net.ParamCount()
+
+				var agg gtopkssgd.Aggregator
+				if mode == "serialized" {
+					k := gtopkssgd.DensityToK(dim, density)
+					ga, err := gtopkssgd.NewGTopKAggregator(comm, dim, k)
+					if err != nil {
+						return nil, err
+					}
+					agg = ga
+				} else {
+					bounds := gtopkssgd.GroupBounds(cls.Net.LayerBounds(), buckets)
+					ba, err := gtopkssgd.NewBucketedAggregator(comm, bounds, density)
+					if err != nil {
+						return nil, err
+					}
+					if rank == 0 {
+						rank0 = ba
+					}
+					agg = ba
+				}
+				tr, err := gtopkssgd.NewTrainer(
+					gtopkssgd.TrainConfig{LR: 0.05, GradClip: 1},
+					agg,
+					cls.Net.Parameters(),
+					models.GradFn(cls, ds, rank, workers, batch),
+				)
+				if err != nil {
+					return nil, err
+				}
+				if mode == "overlapped" {
+					// The streaming gradient function announces each layer's
+					// range as the backward pass retires it (tail first), so
+					// bucket collectives start while earlier layers still
+					// compute.
+					if err := tr.SetStreamGradFn(models.StreamGradFn(cls, ds, rank, workers, batch)); err != nil {
+						return nil, err
+					}
+				}
+				return tr, nil
+			})
+		if err != nil {
+			return err
+		}
+		losses := results[0].Losses
+		fmt.Printf("%-10s  loss %.4f -> %.4f  sim comm/iter %-12v  sent %.1f KiB/worker\n",
+			mode, losses[0], losses[len(losses)-1],
+			results[0].SimulatedTime/time.Duration(steps),
+			float64(results[0].CommStats.BytesSent)/1024)
+		if rank0 != nil {
+			times := rank0.LastBucketTimes()
+			var sum, slowest time.Duration
+			for _, d := range times {
+				sum += d
+				if d > slowest {
+					slowest = d
+				}
+			}
+			fmt.Printf("%-10s  per-bucket comm %v\n", "", times)
+			fmt.Printf("%-10s  slowest bucket %v vs serialized sum %v (%.2fx from overlap)\n",
+				"", slowest, sum, float64(sum)/float64(slowest))
+		}
+	}
+	fmt.Println("\nThe bucketed pipeline pays only the slowest bucket per iteration;")
+	fmt.Println("the serialized aggregator pays the full collective after the backward pass.")
+	return nil
+}

@@ -49,9 +49,13 @@ func run() error {
 					agg = gtopkssgd.NewDenseAggregator(comm, dim)
 				} else {
 					k := gtopkssgd.DensityToK(dim, density)
-					if agg, err = gtopkssgd.NewGTopKAggregator(comm, dim, k); err != nil {
+					// A local err: the closure runs concurrently on every
+					// rank, so it must not write the captured outer err.
+					ga, err := gtopkssgd.NewGTopKAggregator(comm, dim, k)
+					if err != nil {
 						return nil, err
 					}
+					agg = ga
 				}
 				return gtopkssgd.NewTrainer(
 					gtopkssgd.TrainConfig{LR: 0.1, Momentum: 0.9},

@@ -1,0 +1,3 @@
+module gtopkssgd
+
+go 1.24

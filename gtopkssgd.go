@@ -85,6 +85,15 @@ type (
 	// PipelinedTrainer overlaps communication with computation
 	// (one-step-stale updates; the paper's future-work pipelining).
 	PipelinedTrainer = core.PipelinedTrainer
+	// StreamGradFn computes a gradient and announces per-layer readiness,
+	// enabling same-step communication/computation overlap.
+	StreamGradFn = core.StreamGradFn
+	// BucketStreamer is the streaming aggregation contract implemented by
+	// BucketedAggregator (Begin / Ready / Finish per iteration).
+	BucketStreamer = core.BucketStreamer
+	// BucketedAggregator runs gTop-k per layer-aligned bucket with
+	// bucket collectives overlapping each other and the backward pass.
+	BucketedAggregator = core.BucketedAggregator
 	// PhaseTimes carries per-iteration phase durations to observers.
 	PhaseTimes = core.PhaseTimes
 
@@ -185,6 +194,19 @@ func NewPSGTopKAggregator(comm *Comm, dim, k int) (Aggregator, error) {
 	}
 	return agg, nil
 }
+
+// NewBucketedAggregator builds the bucketed, overlapped gTop-k pipeline:
+// each bucket (cumulative offsets in bounds) selects density·size of its
+// gradients and aggregates them via GTopKAllReduce on a tag-isolated
+// sub-communicator, concurrently with the other buckets. Install a
+// StreamGradFn on the trainer to also overlap with the backward pass.
+func NewBucketedAggregator(comm *Comm, bounds []int, density float64) (*BucketedAggregator, error) {
+	return core.NewBucketedAggregator(comm, bounds, density)
+}
+
+// GroupBounds coalesces per-layer cumulative offsets into at most n
+// bucket bounds of roughly equal parameter mass (for NewBucketedAggregator).
+func GroupBounds(layerBounds []int, n int) []int { return core.GroupBounds(layerBounds, n) }
 
 // NewLayerwiseGTopKAggregator builds the layer-wise gTop-k extension;
 // bounds are cumulative per-layer parameter offsets.

@@ -21,7 +21,7 @@ import (
 // EXPERIMENTS.md §Scaling).
 type TrainSpec struct {
 	Model string // vgg16sim | resnet20sim | alexnetsim | resnet50sim | lstm | mlp
-	Algo  string // dense | topk | gtopk | gtopk-naive | gtopk-ps | gtopk-layerwise
+	Algo  string // dense | topk | gtopk | gtopk-naive | gtopk-ps | gtopk-layerwise | gtopk-bucketed
 
 	Workers       int
 	Batch         int
@@ -218,6 +218,8 @@ func buildAggregator(spec TrainSpec, comm *collective.Comm, dim int, bounds []in
 		return core.NewPSGTopKAggregator(comm, dim, k)
 	case "gtopk-layerwise":
 		return core.NewLayerwiseGTopKAggregator(comm, bounds, spec.Density)
+	case "gtopk-bucketed":
+		return core.NewBucketedAggregator(comm, core.GroupBounds(bounds, 4), spec.Density)
 	case "signsgd":
 		return quant.NewSignSGDAggregator(comm, dim), nil
 	case "terngrad":

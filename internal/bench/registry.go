@@ -140,6 +140,22 @@ func Experiments() []Experiment {
 				return AblationPipeline(netsim.Paper1GbE()), nil
 			},
 		},
+		{
+			ID:          "bucketed-overlap",
+			Description: "Extension: bucketed gTop-k pipeline, overlapped vs serialized (analytic + measured)",
+			Run: func(ctx context.Context, opt Options) (string, error) {
+				measured, err := MeasuredOverlap(ctx, opt)
+				if err != nil {
+					return "", err
+				}
+				return BucketedOverlap(netsim.Paper1GbE()) + "\n" + measured, nil
+			},
+		},
+		{
+			ID:          "bucketed-convergence",
+			Description: "Extension: bucketed overlapped gTop-k convergence vs single-bucket gTop-k",
+			Run:         bucketedConvergence,
+		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

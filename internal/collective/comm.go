@@ -43,6 +43,10 @@ type Comm struct {
 	timed bool
 
 	nextTag int
+	// tagLimit bounds this communicator's tag space (exclusive); 0 means
+	// unbounded. Forked children get a finite span so overrunning it
+	// fails loudly instead of silently bleeding into a sibling's tags.
+	tagLimit int
 }
 
 // New wraps a transport endpoint in a communicator.
@@ -135,6 +139,9 @@ func (c *Comm) ChargeRound(elems int) { c.chargeRound(elems) }
 func (c *Comm) claimTags(n int) int {
 	base := c.nextTag
 	c.nextTag += n
+	if c.tagLimit > 0 && c.nextTag > c.tagLimit {
+		panic(fmt.Sprintf("collective: tag space exhausted (next %d > limit %d); forked sub-communicator outlived its %d-tag span", c.nextTag, c.tagLimit, subcommTagSpan))
+	}
 	return base
 }
 

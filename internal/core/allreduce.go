@@ -91,6 +91,9 @@ func GTopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Ve
 			if err != nil {
 				return nil, fmt.Errorf("core: gtopk round %d payload: %w", j, err)
 			}
+			// The blob is dead once decoded (tree receivers never forward
+			// it), so it can seed the next round's encode buffer.
+			sparse.PutBuffer(blob)
 			if current, err = sparse.Merge(current, peerVec, k); err != nil {
 				return nil, fmt.Errorf("core: gtopk round %d merge: %w", j, err)
 			}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/netsim"
+)
+
+// This file implements the bucketed, overlapped aggregation pipeline: the
+// flat gradient is partitioned into layer-aligned buckets, each bucket
+// runs sparsification + gTopKAllReduce on its own tag-isolated
+// sub-communicator (collective.Comm.Fork), and buckets are handed to the
+// pipeline as soon as their slice of the gradient is final — so
+// communication of late layers overlaps both the backward computation of
+// early layers and the communication of other buckets. This is the
+// wait-free-backpropagation direction the paper sketches in Section VII
+// ("pipelining the gradient exchange with backward propagation"), applied
+// to gTop-k.
+
+// StreamGradFn computes one worker's mini-batch gradient like GradFn, but
+// additionally invokes ready(lo, hi) the moment the flat-gradient range
+// [lo, hi) is final (typically once per layer, tail-first, as the
+// backward pass retires layers). Ranges must be disjoint and must jointly
+// cover [0, len(grad)) by the time the function returns; the trainer
+// treats anything not announced as ready at return.
+type StreamGradFn func(iter int, weights, grad []float32, ready func(lo, hi int)) float64
+
+// BucketStreamer is the streaming aggregation contract: an Aggregator
+// that can start communicating gradient buckets before the whole gradient
+// exists. One iteration is Begin → any number of Ready calls → Finish;
+// Aggregate remains the serial facade (Begin + Finish back to back).
+type BucketStreamer interface {
+	Aggregator
+	// Begin starts an iteration over grad. The aggregator reads grad
+	// slices only after they are covered by Ready (or at Finish).
+	Begin(ctx context.Context, grad []float32) error
+	// Ready marks the gradient range [lo, hi) as final. When a bucket
+	// becomes fully covered its pipeline launches immediately.
+	Ready(lo, hi int)
+	// Finish launches any buckets not yet announced, waits for the whole
+	// pipeline to drain, and returns the dense update (mean over ranks).
+	Finish() ([]float32, error)
+}
+
+// bucketState is one bucket's long-lived pipeline state: a tag-isolated
+// sub-communicator (so its collectives never interleave with other
+// buckets'), a private error-feedback residual over the bucket's range,
+// and a private simulated clock when the parent communicator is timed.
+type bucketState struct {
+	idx      int
+	comm     *collective.Comm
+	clock    *netsim.Clock // nil when the parent is untimed
+	sp       *Sparsifier
+	velocity []float32 // DGC momentum-correction buffer (nil when disabled)
+	lo       int
+	hi       int
+	k        int
+
+	remaining int // uncovered elements in the current iteration
+	launched  bool
+}
+
+// bucketDone reports one bucket's completed collective back to Finish.
+type bucketDone struct {
+	idx   int
+	err   error
+	comm  time.Duration // simulated communication time of this bucket
+	stats collective.Stats
+}
+
+// BucketedAggregator runs gTop-k S-SGD per layer-aligned bucket with
+// overlapped communication: bucket b selects k_b = max(1, ρ·m_b) of its
+// m_b gradients and aggregates them with GTopKAllReduce concurrently with
+// the other buckets (and, through the BucketStreamer interface, with the
+// backward pass still producing earlier buckets).
+//
+// Selection semantics are per bucket, exactly as if an independent
+// GTopKAggregator ran on each bucket's gradient slice — the bucketed
+// pipeline is bitwise-identical to that serial composition, which the
+// tests assert. With a single bucket spanning the whole gradient it is
+// bitwise-identical to GTopKAggregator itself. Updates remain
+// deterministic and identical on every rank: bucket i only ever talks to
+// bucket i on peer ranks, over its own tag space, regardless of the
+// launch order or interleaving of goroutines.
+//
+// Simulated-time accounting models the buckets' sub-communicators as
+// concurrent: each iteration advances the parent clock by the SLOWEST
+// bucket's communication time rather than the sum. Per-bucket durations
+// of the last iteration are exposed via LastBucketTimes so benchmarks can
+// also price stricter schedules (e.g. a single shared NIC).
+type BucketedAggregator struct {
+	parent  *collective.Comm
+	bounds  []int
+	buckets []*bucketState
+	dense   []float32
+
+	mu float32 // DGC momentum-correction coefficient (0 disables)
+
+	// Per-iteration streaming state.
+	ctx      context.Context
+	grad     []float32
+	inFlight int
+	done     chan bucketDone
+	lastComm []time.Duration
+}
+
+var _ BucketStreamer = (*BucketedAggregator)(nil)
+
+// NewBucketedAggregator creates the bucketed pipeline. bounds are
+// cumulative bucket offsets (bounds[0] = 0, bounds[B] = dim, strictly
+// increasing) — derive them from a model's layer bounds with GroupBounds.
+// Each bucket selects DensityToK(size, density) gradients per iteration.
+func NewBucketedAggregator(comm *collective.Comm, bounds []int, density float64) (*BucketedAggregator, error) {
+	if len(bounds) < 2 || bounds[0] != 0 {
+		return nil, fmt.Errorf("core: bucketed: bounds must start at 0 and cover >= 1 bucket")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("core: bucketed: bounds not strictly increasing at %d", i)
+		}
+	}
+	if density <= 0 || density > 1 {
+		return nil, fmt.Errorf("core: bucketed: density %v out of (0,1]", density)
+	}
+	n := len(bounds) - 1
+	kids, err := comm.Fork(n)
+	if err != nil {
+		return nil, fmt.Errorf("core: bucketed: %w", err)
+	}
+	model, timed := comm.Model()
+	dim := bounds[n]
+	a := &BucketedAggregator{
+		parent:   comm,
+		bounds:   append([]int(nil), bounds...),
+		buckets:  make([]*bucketState, n),
+		dense:    make([]float32, dim),
+		done:     make(chan bucketDone, n),
+		lastComm: make([]time.Duration, n),
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		b := &bucketState{
+			idx:  i,
+			comm: kids[i],
+			sp:   NewSparsifier(hi - lo),
+			lo:   lo,
+			hi:   hi,
+			k:    DensityToK(hi-lo, density),
+		}
+		if timed {
+			b.clock = &netsim.Clock{}
+			b.comm.WithClock(b.clock, model)
+		}
+		a.buckets[i] = b
+	}
+	return a, nil
+}
+
+// Name implements Aggregator.
+func (a *BucketedAggregator) Name() string { return "gtopk-bucketed" }
+
+// SetMomentumCorrection enables DGC-style momentum correction (see
+// TopKAggregator.SetMomentumCorrection), maintained per bucket so each
+// bucket goroutine owns its slice of the velocity. When enabled,
+// configure the trainer with Momentum: 0. Call before training, not
+// between Begin and Finish.
+func (a *BucketedAggregator) SetMomentumCorrection(mu float32) {
+	a.mu = mu
+	for _, b := range a.buckets {
+		if mu > 0 && b.velocity == nil {
+			b.velocity = make([]float32, b.hi-b.lo)
+		}
+	}
+}
+
+// NumBuckets returns the number of buckets in the pipeline.
+func (a *BucketedAggregator) NumBuckets() int { return len(a.buckets) }
+
+// Bounds returns the cumulative bucket offsets.
+func (a *BucketedAggregator) Bounds() []int { return append([]int(nil), a.bounds...) }
+
+// LastBucketTimes returns each bucket's simulated communication time of
+// the most recent iteration (all zero when the communicator is untimed).
+func (a *BucketedAggregator) LastBucketTimes() []time.Duration {
+	return append([]time.Duration(nil), a.lastComm...)
+}
+
+// Aggregate implements Aggregator: the serial facade over the pipeline.
+// Buckets still communicate concurrently with each other; only the
+// overlap with gradient computation is given up.
+func (a *BucketedAggregator) Aggregate(ctx context.Context, grad []float32) ([]float32, error) {
+	if err := a.Begin(ctx, grad); err != nil {
+		return nil, err
+	}
+	return a.Finish()
+}
+
+// Begin implements BucketStreamer.
+func (a *BucketedAggregator) Begin(ctx context.Context, grad []float32) error {
+	if a.grad != nil {
+		return fmt.Errorf("core: bucketed: Begin before previous Finish")
+	}
+	if len(grad) != len(a.dense) {
+		return fmt.Errorf("core: bucketed aggregate: dim %d, want %d", len(grad), len(a.dense))
+	}
+	a.ctx = ctx
+	a.grad = grad
+	for _, b := range a.buckets {
+		b.remaining = b.hi - b.lo
+		b.launched = false
+	}
+	return nil
+}
+
+// Ready implements BucketStreamer. Ranges from distinct calls must not
+// overlap within one iteration.
+func (a *BucketedAggregator) Ready(lo, hi int) {
+	for _, b := range a.buckets {
+		if b.launched || hi <= b.lo || lo >= b.hi {
+			continue
+		}
+		olo, ohi := max(lo, b.lo), min(hi, b.hi)
+		b.remaining -= ohi - olo
+		if b.remaining <= 0 {
+			a.launch(b)
+		}
+	}
+}
+
+// Finish implements BucketStreamer.
+func (a *BucketedAggregator) Finish() ([]float32, error) {
+	if a.grad == nil {
+		return nil, fmt.Errorf("core: bucketed: Finish without Begin")
+	}
+	for _, b := range a.buckets {
+		if !b.launched {
+			a.launch(b)
+		}
+	}
+	var firstErr error
+	var slowest time.Duration
+	for a.inFlight > 0 {
+		d := <-a.done
+		a.inFlight--
+		if d.err != nil && firstErr == nil {
+			firstErr = d.err
+		}
+		a.lastComm[d.idx] = d.comm
+		if d.comm > slowest {
+			slowest = d.comm
+		}
+		a.parent.AddStats(d.stats)
+	}
+	a.grad = nil
+	a.ctx = nil
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Concurrent-bucket accounting: the iteration pays the slowest
+	// bucket's communication, not the sum — the whole point of the
+	// overlapped pipeline.
+	if clock := a.parent.Clock(); clock != nil {
+		clock.Advance(slowest)
+	}
+	return a.dense, nil
+}
+
+// launch hands one fully-covered bucket to its pipeline goroutine. The
+// goroutine exclusively owns the bucket's sub-communicator, residual and
+// output slice until it reports on a.done, so buckets proceed in parallel
+// without shared mutable state.
+func (a *BucketedAggregator) launch(b *bucketState) {
+	b.launched = true
+	a.inFlight++
+	ctx, grad := a.ctx, a.grad
+	go func() {
+		a.done <- a.runBucket(ctx, b, grad)
+	}()
+}
+
+func (a *BucketedAggregator) runBucket(ctx context.Context, b *bucketState, grad []float32) bucketDone {
+	out := bucketDone{idx: b.idx}
+	statsBefore := b.comm.Stats()
+	var clockBefore time.Duration
+	if b.clock != nil {
+		clockBefore = b.clock.Now()
+	}
+
+	// Per-bucket local top-k (these selections run concurrently across
+	// buckets), then the tree collective on the bucket's own tag space.
+	seg := applyMomentumCorrection(a.mu, b.velocity, grad[b.lo:b.hi])
+	local, err := b.sp.Select(seg, b.k)
+	if err != nil {
+		out.err = fmt.Errorf("core: bucket %d select: %w", b.idx, err)
+		return out
+	}
+	global, err := GTopKAllReduce(ctx, b.comm, local, b.k)
+	if err != nil {
+		out.err = fmt.Errorf("core: bucket %d: %w", b.idx, err)
+		return out
+	}
+	b.sp.PutBack(local, global.Indices)
+
+	dst := a.dense[b.lo:b.hi]
+	for i := range dst {
+		dst[i] = 0
+	}
+	inv := 1 / float32(b.comm.Size())
+	for i, idx := range global.Indices {
+		dst[idx] = global.Values[i] * inv
+	}
+
+	out.stats = statsDelta(statsBefore, b.comm.Stats())
+	if b.clock != nil {
+		out.comm = b.clock.Now() - clockBefore
+	}
+	return out
+}
+
+func statsDelta(before, after collective.Stats) collective.Stats {
+	return collective.Stats{
+		MsgsSent:  after.MsgsSent - before.MsgsSent,
+		MsgsRecv:  after.MsgsRecv - before.MsgsRecv,
+		BytesSent: after.BytesSent - before.BytesSent,
+		BytesRecv: after.BytesRecv - before.BytesRecv,
+		Rounds:    after.Rounds - before.Rounds,
+	}
+}
+
+// GroupBounds coalesces cumulative layer offsets into at most n bucket
+// bounds of roughly equal parameter mass, never splitting a layer. The
+// result always starts at 0 and ends at the full dimension, with between
+// 1 and min(n, L) buckets for L layers.
+func GroupBounds(layerBounds []int, n int) []int {
+	last := len(layerBounds) - 1
+	if last < 1 {
+		return append([]int(nil), layerBounds...)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n >= last {
+		return append([]int(nil), layerBounds...)
+	}
+	dim := layerBounds[last]
+	target := float64(dim) / float64(n)
+	out := []int{0}
+	next := target
+	for i := 1; i < last; i++ {
+		if float64(layerBounds[i]) >= next && len(out) < n {
+			out = append(out, layerBounds[i])
+			next = float64(layerBounds[i]) + target
+		}
+	}
+	return append(out, dim)
+}

@@ -54,6 +54,7 @@ type Trainer struct {
 	cfg      TrainConfig
 	agg      Aggregator
 	gradFn   GradFn
+	streamFn StreamGradFn
 	weights  []float32
 	velocity []float32
 	grad     []float32
@@ -109,6 +110,25 @@ func (t *Trainer) Restore(iter int, velocity []float32) error {
 	return nil
 }
 
+// SetStreamGradFn installs a streaming gradient function that announces
+// per-layer gradient readiness, enabling communication/computation
+// overlap when the aggregator supports bucketed streaming (it must
+// implement BucketStreamer, e.g. BucketedAggregator). The streaming
+// function replaces the plain GradFn for every subsequent Step; pass nil
+// to fall back. In streamed steps, PhaseTimes.Compute covers the backward
+// pass including any communication hidden behind it, and
+// PhaseTimes.Aggregate is only the EXPOSED communication the pipeline
+// could not hide.
+func (t *Trainer) SetStreamGradFn(fn StreamGradFn) error {
+	if fn != nil {
+		if _, ok := t.agg.(BucketStreamer); !ok {
+			return fmt.Errorf("core: aggregator %s does not support bucket streaming", t.agg.Name())
+		}
+	}
+	t.streamFn = fn
+	return nil
+}
+
 // SetLR updates the learning rate (for decay schedules).
 func (t *Trainer) SetLR(lr float32) error {
 	if lr <= 0 {
@@ -119,7 +139,15 @@ func (t *Trainer) SetLR(lr float32) error {
 }
 
 // Step runs one S-SGD iteration and returns the local mini-batch loss.
+// With a streaming gradient function installed (SetStreamGradFn), the
+// aggregator receives gradient buckets while the backward pass is still
+// running, overlapping communication with computation.
 func (t *Trainer) Step(ctx context.Context) (float64, error) {
+	if t.streamFn != nil {
+		if bs, ok := t.agg.(BucketStreamer); ok {
+			return t.stepStreamed(ctx, bs)
+		}
+	}
 	for i := range t.grad {
 		t.grad[i] = 0
 	}
@@ -135,7 +163,49 @@ func (t *Trainer) Step(ctx context.Context) (float64, error) {
 	}
 	pt.Aggregate = time.Since(start)
 
+	t.applyUpdate(update, &pt)
+	if t.onPhases != nil {
+		t.onPhases(t.iter, pt)
+	}
+	t.iter++
+	return loss, nil
+}
+
+// stepStreamed is the overlapped variant of Step: the aggregation
+// pipeline opens before the gradient computation starts, buckets launch
+// from inside the backward pass via the ready callback, and Finish only
+// waits out communication the overlap could not hide.
+func (t *Trainer) stepStreamed(ctx context.Context, bs BucketStreamer) (float64, error) {
+	for i := range t.grad {
+		t.grad[i] = 0
+	}
+	var pt PhaseTimes
+	start := time.Now()
+	if err := bs.Begin(ctx, t.grad); err != nil {
+		return 0, fmt.Errorf("core: step %d: %w", t.iter, err)
+	}
+	loss := t.streamFn(t.iter, t.weights, t.grad, bs.Ready)
+	pt.Compute = time.Since(start)
+
 	start = time.Now()
+	update, err := bs.Finish()
+	if err != nil {
+		return 0, fmt.Errorf("core: step %d: %w", t.iter, err)
+	}
+	pt.Aggregate = time.Since(start)
+
+	t.applyUpdate(update, &pt)
+	if t.onPhases != nil {
+		t.onPhases(t.iter, pt)
+	}
+	t.iter++
+	return loss, nil
+}
+
+// applyUpdate runs the optimizer tail (clip, momentum, weight update)
+// shared by the serial and streamed step paths.
+func (t *Trainer) applyUpdate(update []float32, pt *PhaseTimes) {
+	start := time.Now()
 	if t.cfg.GradClip > 0 {
 		tensor.Clip(update, t.cfg.GradClip)
 	}
@@ -148,10 +218,4 @@ func (t *Trainer) Step(ctx context.Context) (float64, error) {
 		tensor.AxpyInto(t.weights, -t.cfg.LR, update)
 	}
 	pt.Update = time.Since(start)
-
-	if t.onPhases != nil {
-		t.onPhases(t.iter, pt)
-	}
-	t.iter++
-	return loss, nil
 }

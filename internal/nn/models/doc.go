@@ -1,0 +1,8 @@
+// Package models provides the concrete networks the experiments train —
+// CPU-scaled stand-ins for the paper's VGG-16, ResNet-20/50, AlexNet and
+// LSTM-PTB, plus a small MLP — and the adapters that turn a model +
+// dataset into the gradient functions the distributed trainer consumes
+// (GradFn for whole-gradient steps, StreamGradFn for the bucketed
+// overlapped pipeline). It also records the full-size PaperModel
+// parameters (Table III/IV) used by the analytic benchmarks.
+package models

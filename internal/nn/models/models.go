@@ -158,6 +158,31 @@ func GradFn(cls *Classifier, ds *data.Images, rank, workers, batch int) core.Gra
 	}
 }
 
+// StreamGradFn adapts a classifier + dataset into a core.StreamGradFn
+// for the bucketed, overlapped aggregation pipeline: the backward pass
+// announces each layer's flat-gradient range the moment it is final
+// (tail-first, the wait-free backpropagation order), letting the trainer
+// hand gradient buckets to the aggregator while earlier layers are still
+// computing. Same aliasing contract as GradFn.
+func StreamGradFn(cls *Classifier, ds *data.Images, rank, workers, batch int) core.StreamGradFn {
+	params := cls.Net.Parameters()
+	grads := cls.Net.Gradients()
+	return func(iter int, weights, grad []float32, ready func(lo, hi int)) float64 {
+		if len(weights) == 0 || len(params) == 0 || &weights[0] != &params[0] {
+			panic("models: trainer weights must alias Net.Parameters()")
+		}
+		x, labels := ds.Batch(iter, rank, workers, batch)
+		cls.Net.ZeroGrad()
+		logits := cls.Net.Forward(x, true)
+		loss, dlogits := nn.SoftmaxCrossEntropy(logits, labels)
+		cls.Net.BackwardWithHook(dlogits, func(lo, hi int) {
+			copy(grad[lo:hi], grads[lo:hi])
+			ready(lo, hi)
+		})
+		return loss
+	}
+}
+
 // LSTMGradFn adapts the LSTM language model + text corpus into a
 // core.GradFn with the same aliasing contract as GradFn.
 func LSTMGradFn(m *nn.LSTMLM, corpus *data.Text, rank, workers, batch, seqLen int) core.GradFn {

@@ -108,8 +108,27 @@ func (n *Network) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // Backward propagates dL/dlogits back through every layer, accumulating
 // parameter gradients.
 func (n *Network) Backward(dout *tensor.Matrix) {
+	n.BackwardWithHook(dout, nil)
+}
+
+// BackwardWithHook runs Backward, invoking ready(lo, hi) as soon as the
+// flat-gradient range [lo, hi) of each parameterised layer is final. The
+// backward pass visits layers in reverse, so ranges are announced from
+// the tail of the flat vector toward the head — exactly the order
+// wait-free backpropagation needs to start aggregating a layer's gradient
+// while earlier layers are still computing. A nil hook degrades to plain
+// Backward.
+func (n *Network) BackwardWithHook(dout *tensor.Matrix, ready func(lo, hi int)) {
+	hi := len(n.grads)
 	for i := len(n.layers) - 1; i >= 0; i-- {
-		dout = n.layers[i].Backward(dout)
+		l := n.layers[i]
+		dout = l.Backward(dout)
+		if c := l.ParamCount(); c > 0 {
+			if ready != nil {
+				ready(hi-c, hi)
+			}
+			hi -= c
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Wire format for a sparse vector, little-endian:
@@ -20,9 +21,50 @@ const headerBytes = 8
 // with nnz stored entries.
 func EncodedSize(nnz int) int { return headerBytes + 8*nnz }
 
-// Encode serialises v into the wire format above.
+// bufPool recycles wire buffers between encode and decode sites. Every
+// gTopKAllReduce round encodes one sparse message per pair, and the
+// receiving side discards the payload right after Decode; routing those
+// dead buffers back through the pool removes the per-round allocation
+// from the aggregation hot path.
+//
+// Ownership discipline: PutBuffer may only be called on a buffer no other
+// goroutine can still reference — in practice, a payload returned by a
+// transport Recv after it has been decoded. Buffers handed to a transport
+// Send belong to the fabric and must NOT be put back by the sender.
+var bufPool sync.Pool // stores *[]byte
+
+// GetBuffer returns a length-n byte slice, reusing pooled capacity when
+// available.
+func GetBuffer(n int) []byte {
+	if bp, _ := bufPool.Get().(*[]byte); bp != nil && cap(*bp) >= n {
+		return (*bp)[:n]
+	}
+	return make([]byte, n)
+}
+
+// PutBuffer recycles a dead wire buffer (see bufPool for the ownership
+// rules). Putting nil or zero-capacity slices is a no-op.
+func PutBuffer(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	bufPool.Put(&buf)
+}
+
+// Encode serialises v into the wire format above. The buffer comes from
+// the encode pool; ownership passes to the caller (and onward to the
+// transport when sent).
 func Encode(v *Vector) []byte {
-	buf := make([]byte, EncodedSize(v.NNZ()))
+	return EncodeTo(GetBuffer(EncodedSize(v.NNZ())), v)
+}
+
+// EncodeTo serialises v into buf, which must have length
+// EncodedSize(v.NNZ()), and returns it.
+func EncodeTo(buf []byte, v *Vector) []byte {
+	if len(buf) != EncodedSize(v.NNZ()) {
+		panic(fmt.Sprintf("sparse: EncodeTo buffer %d bytes, need %d", len(buf), EncodedSize(v.NNZ())))
+	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(v.Dim))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(v.NNZ()))
 	off := headerBytes

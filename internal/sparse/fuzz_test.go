@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to Decode. The decoder must never
+// panic (transport payloads are untrusted at this layer), and anything it
+// accepts must re-encode to the exact same bytes — the wire format is
+// canonical.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(Encode(&Vector{Dim: 4, Indices: []int32{1, 3}, Values: []float32{-2, 0.5}}))
+	f.Add(Encode(&Vector{Dim: 1, Indices: []int32{0}, Values: []float32{float32(math.Inf(1))}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid vector: %v", err)
+		}
+		if !bytes.Equal(Encode(v), data) {
+			t.Fatalf("re-encode of accepted payload differs from input")
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip builds structurally valid vectors from fuzzed
+// raw material and asserts Encode→Decode is the identity (bit-exact
+// values, identical indices), including NaN and infinity payloads.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint16(8), []byte{1, 0, 0, 0, 63, 2, 128, 191})
+	f.Add(uint16(1), []byte{})
+	f.Add(uint16(300), []byte{0, 0, 192, 127, 10, 0, 128, 255, 20, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, dim16 uint16, raw []byte) {
+		dim := int(dim16)
+		if dim == 0 {
+			dim = 1
+		}
+		// Each 8-byte chunk of raw proposes one (index delta, value) entry;
+		// strictly ascending indices are enforced by construction.
+		v := &Vector{Dim: dim}
+		next := int32(0)
+		for off := 0; off+8 <= len(raw) && int(next) < dim; off += 8 {
+			delta := int32(raw[off]) % 7
+			idx := next + delta
+			if int(idx) >= dim {
+				break
+			}
+			bits := uint32(raw[off+4]) | uint32(raw[off+5])<<8 |
+				uint32(raw[off+6])<<16 | uint32(raw[off+7])<<24
+			v.Indices = append(v.Indices, idx)
+			v.Values = append(v.Values, math.Float32frombits(bits))
+			next = idx + 1
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("constructed vector invalid: %v", err)
+		}
+		got, err := Decode(Encode(v))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if got.Dim != v.Dim || got.NNZ() != v.NNZ() {
+			t.Fatalf("round trip shape: dim %d nnz %d, want dim %d nnz %d",
+				got.Dim, got.NNZ(), v.Dim, v.NNZ())
+		}
+		for i := range v.Indices {
+			if got.Indices[i] != v.Indices[i] {
+				t.Fatalf("index %d: %d != %d", i, got.Indices[i], v.Indices[i])
+			}
+			if math.Float32bits(got.Values[i]) != math.Float32bits(v.Values[i]) {
+				t.Fatalf("value %d: %x != %x", i,
+					math.Float32bits(got.Values[i]), math.Float32bits(v.Values[i]))
+			}
+		}
+	})
+}

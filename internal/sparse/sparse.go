@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Vector is a sparse view of a length-Dim dense vector: Values[i] lives at
@@ -195,7 +196,7 @@ func TopKSparse(v *Vector, k int) *Vector {
 	if k >= v.NNZ() {
 		return v.Clone()
 	}
-	pos := selectTopPositions(v.NNZ(), k,
+	scratch, pos := selectTopPositions(v.NNZ(), k,
 		func(i int) float32 { return abs32(v.Values[i]) },
 		func(i int) int32 { return v.Indices[i] })
 	out := &Vector{Dim: v.Dim, Indices: make([]int32, len(pos)), Values: make([]float32, len(pos))}
@@ -203,16 +204,49 @@ func TopKSparse(v *Vector, k int) *Vector {
 		out.Indices[i] = v.Indices[p]
 		out.Values[i] = v.Values[p]
 	}
+	posScratch.Put(scratch)
 	return out
+}
+
+// Scratch pools for the selection hot path. Every training iteration of
+// every worker runs at least one top-k selection over the full residual,
+// so the magnitude and position scratch vectors are recycled instead of
+// reallocated per call. The pools are safe for the concurrent per-bucket
+// selections of the bucketed aggregation pipeline.
+var (
+	magScratch = sync.Pool{New: func() any { return new([]float32) }}
+	posScratch = sync.Pool{New: func() any { return new([]int) }}
+)
+
+func getMagScratch(n int) *[]float32 {
+	sp := magScratch.Get().(*[]float32)
+	if cap(*sp) < n {
+		*sp = make([]float32, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+func getPosScratch(n int) *[]int {
+	sp := posScratch.Get().(*[]int)
+	if cap(*sp) < n {
+		*sp = make([]int, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
 }
 
 // Threshold returns the k-th largest absolute value of x (the selection
 // threshold "thr" of Algorithm 1 line 5). k must be in [1, len(x)].
+// Expected O(n) quickselect over a pooled scratch buffer; x is not
+// modified.
 func Threshold(x []float32, k int) float32 {
 	if k < 1 || k > len(x) {
 		panic(fmt.Sprintf("sparse: Threshold k=%d with %d elements", k, len(x)))
 	}
-	mags := make([]float32, len(x))
+	sp := getMagScratch(len(x))
+	defer magScratch.Put(sp)
+	mags := *sp
 	for i, v := range x {
 		mags[i] = abs32(v)
 	}
@@ -246,25 +280,60 @@ func Threshold(x []float32, k int) float32 {
 	return mags[lo]
 }
 
-// selectTopPositions returns positions into
-// the caller's parallel slices, ordered so that the referenced dense
-// indices ascend. Ties at equal magnitude break toward the lower dense
-// index for cross-worker determinism.
-func selectTopPositions(n, k int, mag func(int) float32, denseIdx func(int) int32) []int {
-	pos := make([]int, n)
+// selectTopPositions returns positions into the caller's parallel slices,
+// ordered so that the referenced dense indices ascend. Ties at equal
+// magnitude break toward the lower dense index for cross-worker
+// determinism. Selection is expected O(n) quickselect (the sort is only
+// over the k winners); the position scratch comes from a pool. The caller
+// must copy the winners out before the enclosing function returns the
+// scratch (TopKSparse does), so the slice is returned alongside the pool
+// box.
+func selectTopPositions(n, k int, mag func(int) float32, denseIdx func(int) int32) (*[]int, []int) {
+	sp := getPosScratch(n)
+	pos := *sp
 	for i := range pos {
 		pos[i] = i
 	}
-	sort.Slice(pos, func(a, b int) bool {
-		ma, mb := mag(pos[a]), mag(pos[b])
+	// ranksBefore reports whether position a outranks position b in the
+	// selection order (larger magnitude first, lower dense index on ties).
+	ranksBefore := func(a, b int) bool {
+		ma, mb := mag(a), mag(b)
 		if ma != mb {
 			return ma > mb
 		}
-		return denseIdx(pos[a]) < denseIdx(pos[b])
-	})
-	pos = pos[:k]
-	sort.Slice(pos, func(a, b int) bool { return denseIdx(pos[a]) < denseIdx(pos[b]) })
-	return pos
+		return denseIdx(a) < denseIdx(b)
+	}
+	// Quickselect: partially order pos so its first k entries are the k
+	// highest-ranked positions (internal order unspecified).
+	lo, hi, want := 0, n-1, k-1
+	state := uint64(0x9e3779b97f4a7c15)
+	for lo < hi {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		p := lo + int(state%uint64(hi-lo+1))
+		pivot := pos[p]
+		pos[p], pos[hi] = pos[hi], pos[p]
+		store := lo
+		for i := lo; i < hi; i++ {
+			if ranksBefore(pos[i], pivot) {
+				pos[i], pos[store] = pos[store], pos[i]
+				store++
+			}
+		}
+		pos[store], pos[hi] = pos[hi], pos[store]
+		switch {
+		case store == want:
+			lo = hi // done
+		case store < want:
+			lo = store + 1
+		default:
+			hi = store - 1
+		}
+	}
+	winners := pos[:k]
+	sort.Slice(winners, func(a, b int) bool { return denseIdx(winners[a]) < denseIdx(winners[b]) })
+	return sp, winners
 }
 
 func abs32(v float32) float32 {

@@ -223,17 +223,37 @@ func (c *tcpConn) Send(ctx context.Context, dst, tag int, payload []byte) error 
 		return fmt.Errorf("transport: rank %d has no link to %d", c.rank, dst)
 	}
 
-	frame := make([]byte, 8+len(payload))
+	// The frame is fully written to the socket before Send returns, so it
+	// can be recycled; payloads themselves belong to the fabric contract
+	// and are never pooled here.
+	frame := getFrame(8 + len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(tag))
 	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
 	copy(frame[8:], payload)
 
 	link.mu.Lock()
-	defer link.mu.Unlock()
-	if _, err := link.sock.Write(frame); err != nil {
+	_, err := link.sock.Write(frame)
+	link.mu.Unlock()
+	putFrame(frame)
+	if err != nil {
 		return fmt.Errorf("transport: send %d->%d: %w", c.rank, dst, err)
 	}
 	return nil
+}
+
+// framePool recycles the length-prefixed wire frames assembled by Send.
+var framePool sync.Pool // stores *[]byte
+
+func getFrame(n int) []byte {
+	if fp, _ := framePool.Get().(*[]byte); fp != nil && cap(*fp) >= n {
+		return (*fp)[:n]
+	}
+	return make([]byte, n)
+}
+
+func putFrame(f []byte) {
+	f = f[:0]
+	framePool.Put(&f)
 }
 
 func (c *tcpConn) Recv(ctx context.Context, src, tag int) ([]byte, error) {

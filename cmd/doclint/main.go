@@ -1,0 +1,34 @@
+// Command doclint fails (exit 1) when any package under the given
+// roots is missing a package doc comment, or any exported identifier in
+// a library package is missing a doc comment. It is this repository's
+// dependency-free stand-in for revive's exported-comment rule, wired
+// into CI so the godoc story cannot regress:
+//
+//	go run ./cmd/doclint ./...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gtopkssgd/internal/doclint"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	findings, err := doclint.CheckDirs(roots)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d missing doc comment(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command gtopk-coordinator runs the rendezvous and membership service
+// of an elastic gTop-k S-SGD job. Start it first, then launch workers
+// that join by name (no -rank/-addrs bookkeeping):
+//
+//	gtopk-coordinator -listen 127.0.0.1:7070 -world 4 &
+//	for i in 0 1 2 3; do
+//	    gtopk-worker -coordinator 127.0.0.1:7070 -name w$i \
+//	                 -checkpoint-dir /tmp/gtopk &
+//	done
+//
+// The coordinator assigns ranks (name-ordered at epoch 1), pushes the
+// data-plane address list to every worker, and watches heartbeats. When
+// a worker dies — SIGKILL, OOM, network loss — it declares a new epoch:
+// survivors rebuild the mesh at the smaller world size and resume from
+// their checkpoints. The process exits 0 when the job completes and
+// non-zero when it aborts (membership fell below -min-world).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gtopkssgd/internal/cluster"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7070", "control-plane listen address")
+		world      = flag.Int("world", 0, "worker count the job launches at (required)")
+		minWorld   = flag.Int("min-world", 1, "abort when failures shrink membership below this")
+		hbInterval = flag.Duration("hb-interval", cluster.DefaultHeartbeatInterval, "worker heartbeat period")
+		hbTimeout  = flag.Duration("hb-timeout", cluster.DefaultHeartbeatTimeout, "silence declaring a worker dead")
+		quiet      = flag.Bool("quiet", false, "suppress membership/epoch event log")
+	)
+	flag.Parse()
+	if err := run(*listen, *world, *minWorld, *hbInterval, *hbTimeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "gtopk-coordinator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, world, minWorld int, hbInterval, hbTimeout time.Duration, quiet bool) error {
+	if world < 1 {
+		flag.Usage()
+		return fmt.Errorf("-world is required and must be >= 1 (got %d)", world)
+	}
+	logf := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds).Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		World:             world,
+		MinWorld:          minWorld,
+		HeartbeatInterval: hbInterval,
+		HeartbeatTimeout:  hbTimeout,
+		Logf:              logf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	logf("gtopk-coordinator: waiting for %d workers on %s", world, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := coord.Serve(ctx, ln); err != nil {
+		return err
+	}
+	logf("gtopk-coordinator: job completed")
+	return nil
+}

@@ -1,26 +1,44 @@
 // Command gtopk-worker runs ONE rank of a genuinely multi-process
-// distributed training job over TCP. Launch one process per rank with
-// the same address list:
+// distributed training job over TCP, in one of two modes.
+//
+// Elastic mode (preferred): workers join a gtopk-coordinator by name
+// and never learn about ranks or address lists; the coordinator assigns
+// both and reassigns them when membership changes:
+//
+//	gtopk-coordinator -listen 127.0.0.1:7070 -world 4 &
+//	for i in 0 1 2 3; do
+//	    gtopk-worker -coordinator 127.0.0.1:7070 -name w$i \
+//	                 -checkpoint-dir /tmp/gtopk &
+//	done
+//
+// If a worker is SIGKILLed mid-training, the survivors re-form the mesh
+// at the smaller world size and resume from their last checkpoint —
+// momentum and error-feedback residual intact. See docs/ARCHITECTURE.md
+// for the failure/recovery walkthrough.
+//
+// Static mode (legacy): a fixed, hand-written membership; the job dies
+// with its weakest worker:
 //
 //	gtopk-worker -rank 0 -addrs 127.0.0.1:7000,127.0.0.1:7001 &
 //	gtopk-worker -rank 1 -addrs 127.0.0.1:7000,127.0.0.1:7001 &
 //
 // All ranks train the same model with identical seeds; the aggregation
 // algorithm keeps replicas bit-identical, which rank 0 reports at the
-// end. Optional checkpointing (-checkpoint) saves the full training
-// state (weights, momentum, error-feedback residual) and resumes from it
-// when the file exists.
+// end.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"gtopkssgd/internal/checkpoint"
+	"gtopkssgd/internal/cluster"
 	"gtopkssgd/internal/collective"
 	"gtopkssgd/internal/core"
 	"gtopkssgd/internal/data"
@@ -29,83 +47,239 @@ import (
 	"gtopkssgd/internal/transport"
 )
 
+// options collects every flag; one struct keeps validation in one
+// place and testable.
+type options struct {
+	// elastic mode
+	coordinator string
+	name        string
+	dataAddr    string
+	ckptDir     string
+	ckptEvery   int
+	// static mode
+	rank     int
+	addrList string
+	ckptPath string
+	traceCSV string
+	// shared training parameters
+	algo    string
+	steps   int
+	batch   int
+	density float64
+	lr      float64
+	seed    uint64
+	timeout time.Duration
+}
+
 func main() {
-	var (
-		rank     = flag.Int("rank", 0, "this worker's rank")
-		addrList = flag.String("addrs", "", "comma-separated host:port per rank")
-		algo     = flag.String("algo", "gtopk", "dense|topk|gtopk")
-		steps    = flag.Int("steps", 50, "training steps")
-		batch    = flag.Int("batch", 16, "mini-batch size per worker")
-		density  = flag.Float64("density", 0.01, "gradient density rho")
-		lr       = flag.Float64("lr", 0.05, "learning rate")
-		seed     = flag.Uint64("seed", 42, "shared model/data seed")
-		ckptPath = flag.String("checkpoint", "", "checkpoint file (resume if present, save at end)")
-		traceCSV = flag.String("trace", "", "write per-iteration phase timings CSV to this file")
-		timeout  = flag.Duration("timeout", 60*time.Second, "mesh setup + training deadline")
-	)
+	var o options
+	flag.StringVar(&o.coordinator, "coordinator", "", "coordinator control address (enables elastic mode)")
+	flag.StringVar(&o.name, "name", "", "stable worker name (elastic mode; required with -coordinator)")
+	flag.StringVar(&o.dataAddr, "data-addr", "127.0.0.1:0", "data-plane listen address (elastic mode)")
+	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "directory for per-worker snapshots (elastic mode; required)")
+	flag.IntVar(&o.ckptEvery, "checkpoint-every", 10, "snapshot cadence in iterations (elastic mode)")
+	flag.IntVar(&o.rank, "rank", 0, "this worker's rank (static mode)")
+	flag.StringVar(&o.addrList, "addrs", "", "comma-separated host:port per rank (static mode)")
+	flag.StringVar(&o.ckptPath, "checkpoint", "", "checkpoint file: resume if present, save at end (static mode)")
+	flag.StringVar(&o.traceCSV, "trace", "", "write per-iteration phase timings CSV to this file (static mode)")
+	flag.StringVar(&o.algo, "algo", "gtopk", "dense|topk|gtopk")
+	flag.IntVar(&o.steps, "steps", 50, "training steps")
+	flag.IntVar(&o.batch, "batch", 16, "mini-batch size per worker")
+	flag.Float64Var(&o.density, "density", 0.01, "gradient density rho in (0,1]")
+	flag.Float64Var(&o.lr, "lr", 0.05, "learning rate")
+	flag.Uint64Var(&o.seed, "seed", 42, "shared model/data seed")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "static: mesh setup + training deadline; elastic: per-epoch mesh rebuild bound")
 	flag.Parse()
-	if err := run(*rank, *addrList, *algo, *steps, *batch, *density, *lr, *seed, *ckptPath, *traceCSV, *timeout); err != nil {
+
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "gtopk-worker: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	if o.coordinator != "" {
+		err = runElastic(&o)
+	} else {
+		err = runStatic(&o)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gtopk-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rank int, addrList, algo string, steps, batch int, density, lr float64,
-	seed uint64, ckptPath, traceCSV string, timeout time.Duration) error {
-	addrs := strings.Split(addrList, ",")
-	if addrList == "" || len(addrs) < 1 {
-		return fmt.Errorf("need -addrs with one host:port per rank")
+// validate rejects nonsensical flag combinations up front with a usage
+// message instead of a late panic deep inside the training loop.
+func (o *options) validate() error {
+	switch o.algo {
+	case "dense", "topk", "gtopk":
+	default:
+		return fmt.Errorf("unknown -algo %q (want dense, topk or gtopk)", o.algo)
 	}
+	if o.steps < 1 {
+		return fmt.Errorf("-steps %d out of range: need >= 1", o.steps)
+	}
+	if o.batch < 1 {
+		return fmt.Errorf("-batch %d out of range: need >= 1", o.batch)
+	}
+	if o.density <= 0 || o.density > 1 {
+		return fmt.Errorf("-density %v out of range: need 0 < rho <= 1", o.density)
+	}
+	if o.lr <= 0 {
+		return fmt.Errorf("-lr %v out of range: need > 0", o.lr)
+	}
+	if o.timeout <= 0 {
+		return fmt.Errorf("-timeout %v out of range: need > 0", o.timeout)
+	}
+
+	if o.coordinator != "" {
+		// Elastic mode.
+		if o.name == "" {
+			return fmt.Errorf("-coordinator requires -name (the worker's stable identity)")
+		}
+		if o.ckptDir == "" {
+			return fmt.Errorf("-coordinator requires -checkpoint-dir (failure recovery resumes from snapshots)")
+		}
+		if o.ckptEvery < 1 {
+			return fmt.Errorf("-checkpoint-every %d out of range: need >= 1", o.ckptEvery)
+		}
+		if o.algo == "topk" {
+			// topk's AllGather still requires power-of-two worlds, so the
+			// first shrink (4 -> 3) would kill the job elasticity exists
+			// to save. dense and gtopk work at any world size.
+			return fmt.Errorf("-algo topk is not elastic-safe (AllGather needs power-of-two worlds); use gtopk or dense")
+		}
+		if o.addrList != "" {
+			return fmt.Errorf("-addrs conflicts with -coordinator: elastic membership comes from the coordinator")
+		}
+		if o.ckptPath != "" {
+			return fmt.Errorf("-checkpoint conflicts with -coordinator: elastic snapshots live in -checkpoint-dir, keyed by -name")
+		}
+		if o.traceCSV != "" {
+			return fmt.Errorf("-trace is static-mode only")
+		}
+		return nil
+	}
+
+	// Static mode.
+	if o.addrList == "" {
+		return fmt.Errorf("need either -coordinator (elastic mode) or -addrs (static mode)")
+	}
+	addrs := strings.Split(o.addrList, ",")
+	for i, a := range addrs {
+		if strings.TrimSpace(a) == "" {
+			return fmt.Errorf("-addrs entry %d is empty (got %q)", i, o.addrList)
+		}
+	}
+	if o.rank < 0 || o.rank >= len(addrs) {
+		return fmt.Errorf("-rank %d out of range [0,%d) for %d-entry -addrs", o.rank, len(addrs), len(addrs))
+	}
+	return nil
+}
+
+// buildAggregator assembles the configured aggregation algorithm over a
+// communicator; sp is non-nil for the sparsifying algorithms.
+func buildAggregator(o *options, comm *collective.Comm, dim int) (agg core.Aggregator, sp *core.Sparsifier, err error) {
+	k := core.DensityToK(dim, o.density)
+	switch o.algo {
+	case "dense":
+		return core.NewDenseAggregator(comm, dim), nil, nil
+	case "topk":
+		a, err := core.NewTopKAggregator(comm, dim, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, a.Sparsifier(), nil
+	case "gtopk":
+		a, err := core.NewGTopKAggregator(comm, dim, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, a.Sparsifier(), nil
+	}
+	return nil, nil, fmt.Errorf("unknown algorithm %q", o.algo)
+}
+
+// runElastic joins a coordinator and trains until the job completes,
+// surviving membership changes.
+func runElastic(o *options) error {
+	ds, err := data.NewImages(o.seed+1, 10, 3, 8, 8, 0.4)
+	if err != nil {
+		return err
+	}
+	res, err := cluster.Run(context.Background(), cluster.RuntimeConfig{
+		Name:            o.name,
+		Coordinator:     o.coordinator,
+		DataAddr:        o.dataAddr,
+		Steps:           o.steps,
+		CheckpointPath:  filepath.Join(o.ckptDir, o.name+".gtkc"),
+		CheckpointEvery: o.ckptEvery,
+		MeshTimeout:     o.timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+		OnStep: func(info cluster.StepInfo) error {
+			if info.Rank == 0 && (info.Iter%10 == 0 || info.Iter == o.steps) {
+				fmt.Printf("epoch %d  iter %4d  loss %.4f  (world %d)\n", info.Epoch, info.Iter, info.Loss, info.World)
+			}
+			return nil
+		},
+		Build: func(rank, world int, comm *collective.Comm) (*cluster.Session, error) {
+			cls := models.MLP(ds.Dim(), 64, 10)
+			cls.Net.Init(o.seed)
+			agg, sp, err := buildAggregator(o, comm, cls.Net.ParamCount())
+			if err != nil {
+				return nil, err
+			}
+			tr, err := core.NewTrainer(core.TrainConfig{LR: float32(o.lr), Momentum: 0.9},
+				agg, cls.Net.Parameters(), models.GradFn(cls, ds, rank, world, o.batch))
+			if err != nil {
+				return nil, err
+			}
+			return &cluster.Session{Trainer: tr, Params: cls.Net.Parameters(), Sparsifier: sp}, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: completed %d steps across %d epoch(s); final loss %.4f at world %d (rank %d)\n",
+		o.name, res.Steps, res.Epochs, res.LastLoss, res.FinalWorld, res.FinalRank)
+	return nil
+}
+
+// runStatic is the fixed-membership path: the address list is frozen at
+// launch and any worker death kills the job.
+func runStatic(o *options) error {
+	addrs := strings.Split(o.addrList, ",")
 	workers := len(addrs)
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
-	conn, err := transport.NewTCPWorker(ctx, rank, addrs)
+	conn, err := transport.NewTCPWorker(ctx, o.rank, addrs)
 	if err != nil {
 		return fmt.Errorf("join mesh: %w", err)
 	}
 	defer conn.Close() //nolint:errcheck // process exit follows
 
 	comm := collective.New(conn)
-	ds, err := data.NewImages(seed+1, 10, 3, 8, 8, 0.4)
+	ds, err := data.NewImages(o.seed+1, 10, 3, 8, 8, 0.4)
 	if err != nil {
 		return err
 	}
 	cls := models.MLP(ds.Dim(), 64, 10)
-	cls.Net.Init(seed)
-	dim := cls.Net.ParamCount()
+	cls.Net.Init(o.seed)
 
-	var (
-		agg core.Aggregator
-		sp  *core.Sparsifier
-	)
-	k := core.DensityToK(dim, density)
-	switch algo {
-	case "dense":
-		agg = core.NewDenseAggregator(comm, dim)
-	case "topk":
-		a, err := core.NewTopKAggregator(comm, dim, k)
-		if err != nil {
-			return err
-		}
-		agg, sp = a, a.Sparsifier()
-	case "gtopk":
-		a, err := core.NewGTopKAggregator(comm, dim, k)
-		if err != nil {
-			return err
-		}
-		agg, sp = a, a.Sparsifier()
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+	agg, sp, err := buildAggregator(o, comm, cls.Net.ParamCount())
+	if err != nil {
+		return err
 	}
-
-	trainer, err := core.NewTrainer(core.TrainConfig{LR: float32(lr), Momentum: 0.9},
-		agg, cls.Net.Parameters(), models.GradFn(cls, ds, rank, workers, batch))
+	trainer, err := core.NewTrainer(core.TrainConfig{LR: float32(o.lr), Momentum: 0.9},
+		agg, cls.Net.Parameters(), models.GradFn(cls, ds, o.rank, workers, o.batch))
 	if err != nil {
 		return err
 	}
 	rec := trace.NewRecorder()
-	if traceCSV != "" {
+	if o.traceCSV != "" {
 		trainer.SetPhaseHook(func(iter int, pt core.PhaseTimes) {
 			rec.Record(iter, trace.PhaseCompute, pt.Compute)
 			rec.Record(iter, trace.PhaseAggregate, pt.Aggregate)
@@ -114,8 +288,8 @@ func run(rank int, addrList, algo string, steps, batch int, density, lr float64,
 	}
 
 	// Resume if a checkpoint exists.
-	if ckptPath != "" {
-		if st, err := checkpoint.LoadFile(ckptPath); err == nil {
+	if o.ckptPath != "" {
+		if st, err := checkpoint.LoadFile(o.ckptPath); err == nil {
 			copy(cls.Net.Parameters(), st.Weights)
 			if err := trainer.Restore(int(st.Iter), st.Velocity); err != nil {
 				return fmt.Errorf("restore: %w", err)
@@ -125,41 +299,41 @@ func run(rank int, addrList, algo string, steps, batch int, density, lr float64,
 					return fmt.Errorf("restore residual: %w", err)
 				}
 			}
-			fmt.Printf("rank %d: resumed from %s at iteration %d\n", rank, ckptPath, st.Iter)
-		} else if !os.IsNotExist(err) {
-			fmt.Fprintf(os.Stderr, "rank %d: ignoring unreadable checkpoint: %v\n", rank, err)
+			fmt.Printf("rank %d: resumed from %s at iteration %d\n", o.rank, o.ckptPath, st.Iter)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "rank %d: ignoring unreadable checkpoint: %v\n", o.rank, err)
 		}
 	}
 
 	var lastLoss float64
-	for s := 0; s < steps; s++ {
+	for s := 0; s < o.steps; s++ {
 		loss, err := trainer.Step(ctx)
 		if err != nil {
 			return fmt.Errorf("step %d: %w", s, err)
 		}
 		lastLoss = loss
-		if rank == 0 && (s%10 == 0 || s == steps-1) {
+		if o.rank == 0 && (s%10 == 0 || s == o.steps-1) {
 			fmt.Printf("iter %4d  loss %.4f\n", trainer.Iter(), loss)
 		}
 	}
 
-	if ckptPath != "" {
+	if o.ckptPath != "" {
 		st := &checkpoint.State{
 			Iter:     uint64(trainer.Iter()),
 			Weights:  cls.Net.Parameters(),
 			Velocity: trainer.Velocity(),
-			Meta:     map[string]string{"algo": algo, "model": "mlp"},
+			Meta:     map[string]string{"algo": o.algo, "model": "mlp"},
 		}
 		if sp != nil {
 			st.Residual = sp.Residual()
 		}
-		if err := checkpoint.SaveFile(ckptPath, st); err != nil {
+		if err := checkpoint.SaveFile(o.ckptPath, st); err != nil {
 			return err
 		}
-		fmt.Printf("rank %d: checkpoint saved to %s\n", rank, ckptPath)
+		fmt.Printf("rank %d: checkpoint saved to %s\n", o.rank, o.ckptPath)
 	}
-	if traceCSV != "" {
-		f, err := os.Create(traceCSV)
+	if o.traceCSV != "" {
+		f, err := os.Create(o.traceCSV)
 		if err != nil {
 			return err
 		}
@@ -177,7 +351,7 @@ func run(rank int, addrList, algo string, steps, batch int, density, lr float64,
 	if err := comm.RingAllReduceSum(ctx, digest); err != nil {
 		return err
 	}
-	if rank == 0 {
+	if o.rank == 0 {
 		expected := checksum(cls.Net.Parameters()) * float32(workers)
 		status := "CONSISTENT"
 		if digest[0] != expected {

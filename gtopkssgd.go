@@ -33,6 +33,7 @@ import (
 	"context"
 
 	"gtopkssgd/internal/checkpoint"
+	"gtopkssgd/internal/cluster"
 	"gtopkssgd/internal/collective"
 	"gtopkssgd/internal/core"
 	"gtopkssgd/internal/netsim"
@@ -101,6 +102,20 @@ type (
 	CheckpointState = checkpoint.State
 	// TraceRecorder accumulates per-iteration phase timings.
 	TraceRecorder = trace.Recorder
+
+	// ClusterCoordinator is the rendezvous/membership service of an
+	// elastic job (workers join by name, failures declare new epochs).
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterCoordinatorConfig parameterises a ClusterCoordinator.
+	ClusterCoordinatorConfig = cluster.CoordinatorConfig
+	// ElasticWorkerConfig parameterises one elastic worker; see
+	// RunElasticWorker.
+	ElasticWorkerConfig = cluster.RuntimeConfig
+	// ElasticWorkerResult summarises a completed elastic training run.
+	ElasticWorkerResult = cluster.RunResult
+	// ElasticSession is one epoch's training assembly, produced by an
+	// ElasticWorkerConfig.Build function.
+	ElasticSession = cluster.Session
 )
 
 // NewInProcFabric connects n ranks through in-memory mailboxes — the
@@ -241,6 +256,23 @@ func RunCluster(ctx context.Context, cfg ClusterConfig, setup WorkerSetup) ([]*W
 // cmd/gtopk-worker for a complete deployment example.
 func NewTCPWorker(ctx context.Context, rank int, addrs []string) (Conn, error) {
 	return transport.NewTCPWorker(ctx, rank, addrs)
+}
+
+// NewClusterCoordinator creates the rendezvous/membership service of an
+// elastic multi-process job; serve it with Coordinator.Serve. Workers
+// join with RunElasticWorker (or cluster.Join for just the control
+// plane). See cmd/gtopk-coordinator.
+func NewClusterCoordinator(cfg ClusterCoordinatorConfig) (*ClusterCoordinator, error) {
+	return cluster.NewCoordinator(cfg)
+}
+
+// RunElasticWorker executes one elastic worker from join to job
+// completion: it rendezvouses through the coordinator, survives
+// membership changes by rebuilding the mesh each epoch, and resumes
+// from its checkpoint after failures. See cmd/gtopk-worker's elastic
+// mode and docs/ARCHITECTURE.md.
+func RunElasticWorker(ctx context.Context, cfg ElasticWorkerConfig) (*ElasticWorkerResult, error) {
+	return cluster.Run(ctx, cfg)
 }
 
 // NewSignSGDAggregator builds the signSGD-with-majority-vote baseline

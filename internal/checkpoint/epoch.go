@@ -1,0 +1,83 @@
+package checkpoint
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Well-known metadata keys written by the elastic cluster runtime. They
+// live in the free-form Meta map (the binary format is unchanged —
+// version 1 files with and without them interoperate), but typed
+// accessors keep every writer and reader agreeing on key names and
+// encoding.
+const (
+	// MetaEpoch is the cluster epoch the snapshot was taken in.
+	MetaEpoch = "cluster.epoch"
+	// MetaWorld is the world size (rank count) at snapshot time.
+	MetaWorld = "cluster.world"
+	// MetaRank is the saving worker's rank at snapshot time.
+	MetaRank = "cluster.rank"
+	// MetaName is the saving worker's stable cluster name. Ranks are
+	// reassigned on every epoch; the name is the identity that persists,
+	// which is why checkpoint files are keyed by it.
+	MetaName = "cluster.name"
+)
+
+// SetClusterMeta records the elastic-cluster coordinates of a snapshot:
+// the epoch it was taken in, the world size, and the saving worker's
+// rank and stable name.
+func (s *State) SetClusterMeta(epoch uint64, world, rank int, name string) {
+	if s.Meta == nil {
+		s.Meta = make(map[string]string, 4)
+	}
+	s.Meta[MetaEpoch] = strconv.FormatUint(epoch, 10)
+	s.Meta[MetaWorld] = strconv.Itoa(world)
+	s.Meta[MetaRank] = strconv.Itoa(rank)
+	s.Meta[MetaName] = name
+}
+
+// Epoch returns the cluster epoch recorded in the snapshot; ok is false
+// for checkpoints written outside an elastic job.
+func (s *State) Epoch() (epoch uint64, ok bool) {
+	v, present := s.Meta[MetaEpoch]
+	if !present {
+		return 0, false
+	}
+	epoch, err := strconv.ParseUint(v, 10, 64)
+	return epoch, err == nil
+}
+
+// World returns the world size recorded in the snapshot; ok is false
+// when absent or malformed.
+func (s *State) World() (world int, ok bool) {
+	return s.intMeta(MetaWorld)
+}
+
+// Rank returns the saving worker's rank recorded in the snapshot; ok is
+// false when absent or malformed.
+func (s *State) Rank() (rank int, ok bool) {
+	return s.intMeta(MetaRank)
+}
+
+// Name returns the saving worker's stable cluster name ("" when the
+// snapshot was written outside an elastic job).
+func (s *State) Name() string { return s.Meta[MetaName] }
+
+// ValidateName rejects restoring another worker's snapshot: residuals
+// are per-worker optimizer state, so worker w must only resume from a
+// checkpoint written by w (or from an anonymous, pre-elastic one).
+func (s *State) ValidateName(name string) error {
+	if got := s.Name(); got != "" && got != name {
+		return fmt.Errorf("checkpoint: snapshot belongs to worker %q, not %q", got, name)
+	}
+	return nil
+}
+
+func (s *State) intMeta(key string) (int, bool) {
+	v, present := s.Meta[key]
+	if !present {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	return n, err == nil
+}

@@ -1,0 +1,55 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClusterMetaRoundTrip(t *testing.T) {
+	s := &State{Iter: 12, Weights: []float32{1, 2}, Velocity: []float32{3, 4}}
+	s.SetClusterMeta(7, 3, 1, "w2")
+
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := got.Epoch(); !ok || e != 7 {
+		t.Fatalf("epoch = %d, %v; want 7, true", e, ok)
+	}
+	if w, ok := got.World(); !ok || w != 3 {
+		t.Fatalf("world = %d, %v; want 3, true", w, ok)
+	}
+	if r, ok := got.Rank(); !ok || r != 1 {
+		t.Fatalf("rank = %d, %v; want 1, true", r, ok)
+	}
+	if got.Name() != "w2" {
+		t.Fatalf("name = %q, want w2", got.Name())
+	}
+	if err := got.ValidateName("w2"); err != nil {
+		t.Fatalf("own name rejected: %v", err)
+	}
+	if err := got.ValidateName("w0"); err == nil {
+		t.Fatal("foreign snapshot accepted")
+	}
+}
+
+func TestClusterMetaAbsent(t *testing.T) {
+	s := &State{}
+	if _, ok := s.Epoch(); ok {
+		t.Fatal("epoch reported on anonymous snapshot")
+	}
+	if _, ok := s.World(); ok {
+		t.Fatal("world reported on anonymous snapshot")
+	}
+	if _, ok := s.Rank(); ok {
+		t.Fatal("rank reported on anonymous snapshot")
+	}
+	// Anonymous (pre-elastic) checkpoints restore under any name.
+	if err := s.ValidateName("w5"); err != nil {
+		t.Fatal(err)
+	}
+}

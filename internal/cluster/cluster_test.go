@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startCoordinator runs a coordinator on an ephemeral loopback port and
+// returns its address plus a channel carrying Serve's result.
+func startCoordinator(t *testing.T, ctx context.Context, cfg CoordinatorConfig) (string, *Coordinator, <-chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- coord.Serve(ctx, ln) }()
+	return ln.Addr().String(), coord, served
+}
+
+// fastHB is a heartbeat contract quick enough for unit tests.
+func fastHB(cfg CoordinatorConfig) CoordinatorConfig {
+	cfg.HeartbeatInterval = 25 * time.Millisecond
+	cfg.HeartbeatTimeout = 250 * time.Millisecond
+	return cfg
+}
+
+// awaitConfig blocks until the member holds a config with epoch >= min.
+func awaitConfig(t *testing.T, ctx context.Context, m *Member, min uint64) *Config {
+	t.Helper()
+	for {
+		conf, changed := m.Config()
+		if conf != nil && conf.Epoch >= min {
+			return conf
+		}
+		select {
+		case <-changed:
+		case <-m.Done():
+			t.Fatalf("control plane died waiting for epoch %d: %v", min, m.Err())
+		case <-ctx.Done():
+			t.Fatalf("timeout waiting for epoch %d", min)
+		}
+	}
+}
+
+func TestRendezvousAssignsRanksByName(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	addr, _, _ := startCoordinator(t, ctx, fastHB(CoordinatorConfig{World: 3}))
+
+	// Join in an order unrelated to the name order.
+	names := []string{"zulu", "alpha", "mike"}
+	members := make(map[string]*Member, len(names))
+	for i, name := range names {
+		m, err := Join(ctx, addr, name, fmt.Sprintf("127.0.0.1:%d", 9000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close() //nolint:errcheck // test teardown
+		members[name] = m
+	}
+
+	wantRank := map[string]int{"alpha": 0, "mike": 1, "zulu": 2}
+	for name, m := range members {
+		conf := awaitConfig(t, ctx, m, 1)
+		if conf.World != 3 || conf.Epoch != 1 {
+			t.Fatalf("%s: config %+v, want epoch 1 world 3", name, conf)
+		}
+		if conf.Rank != wantRank[name] {
+			t.Fatalf("%s: rank %d, want %d (epoch-1 ranks are name-ordered)", name, conf.Rank, wantRank[name])
+		}
+		if len(conf.Names) != 3 || conf.Names[0] != "alpha" || conf.Names[1] != "mike" || conf.Names[2] != "zulu" {
+			t.Fatalf("%s: names %v out of order", name, conf.Names)
+		}
+		if conf.Addrs[conf.Rank] == "" {
+			t.Fatalf("%s: empty own address", name)
+		}
+	}
+}
+
+func TestConnLossDeclaresShrunkenEpoch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	addr, _, _ := startCoordinator(t, ctx, fastHB(CoordinatorConfig{World: 3}))
+
+	ms := make([]*Member, 3)
+	for i := range ms {
+		m, err := Join(ctx, addr, fmt.Sprintf("w%d", i), fmt.Sprintf("127.0.0.1:%d", 9100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close() //nolint:errcheck // test teardown
+		ms[i] = m
+	}
+	for _, m := range ms {
+		awaitConfig(t, ctx, m, 1)
+	}
+
+	// w1 dies abruptly (SIGKILL-like: its sockets just vanish).
+	ms[1].Close() //nolint:errcheck // simulated crash
+
+	for _, i := range []int{0, 2} {
+		conf := awaitConfig(t, ctx, ms[i], 2)
+		if conf.World != 2 {
+			t.Fatalf("w%d: epoch-2 world %d, want 2", i, conf.World)
+		}
+		want := map[int]int{0: 0, 2: 1}[i] // survivors keep relative order
+		if conf.Rank != want {
+			t.Fatalf("w%d: epoch-2 rank %d, want %d", i, conf.Rank, want)
+		}
+		if len(conf.Names) != 2 || conf.Names[0] != "w0" || conf.Names[1] != "w2" {
+			t.Fatalf("w%d: epoch-2 names %v, want [w0 w2]", i, conf.Names)
+		}
+	}
+}
+
+func TestHeartbeatTimeoutDeclaresNewEpoch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	addr, _, _ := startCoordinator(t, ctx, fastHB(CoordinatorConfig{World: 2}))
+
+	m0, err := Join(ctx, addr, "w0", "127.0.0.1:9200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close() //nolint:errcheck // test teardown
+	m1, err := Join(ctx, addr, "w1", "127.0.0.1:9201")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close() //nolint:errcheck // test teardown
+	awaitConfig(t, ctx, m0, 1)
+
+	// Partition, not crash: w1 keeps its connection but falls silent.
+	m1.pauseHeartbeats(true)
+
+	conf := awaitConfig(t, ctx, m0, 2)
+	if conf.World != 1 || conf.Rank != 0 {
+		t.Fatalf("epoch-2 config %+v, want world 1 rank 0", conf)
+	}
+
+	// The healed zombie is told the job moved on without it.
+	m1.pauseHeartbeats(false)
+	select {
+	case <-m1.Done():
+		if err := m1.Err(); err == nil || !strings.Contains(err.Error(), "declared dead") {
+			t.Fatalf("zombie error = %v, want declared-dead abort", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("zombie was never told it is dead")
+	}
+}
+
+func TestAbortBelowMinWorld(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	addr, _, served := startCoordinator(t, ctx, fastHB(CoordinatorConfig{World: 2, MinWorld: 2}))
+
+	m0, err := Join(ctx, addr, "w0", "127.0.0.1:9300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close() //nolint:errcheck // test teardown
+	m1, err := Join(ctx, addr, "w1", "127.0.0.1:9301")
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitConfig(t, ctx, m0, 1)
+
+	m1.Close() //nolint:errcheck // simulated crash below MinWorld
+
+	select {
+	case <-m0.Done():
+		if err := m0.Err(); err == nil || !strings.Contains(err.Error(), "aborted") {
+			t.Fatalf("survivor error = %v, want abort", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("survivor never saw the abort")
+	}
+	select {
+	case err := <-served:
+		if err == nil || !strings.Contains(err.Error(), "below minimum") {
+			t.Fatalf("Serve = %v, want below-minimum abort", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("Serve did not return after abort")
+	}
+}
+
+func TestJoinRejections(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	addr, _, _ := startCoordinator(t, ctx, fastHB(CoordinatorConfig{World: 2}))
+
+	m0, err := Join(ctx, addr, "w0", "127.0.0.1:9400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close() //nolint:errcheck // test teardown
+
+	if _, err := Join(ctx, addr, "w0", "127.0.0.1:9401"); err == nil || !strings.Contains(err.Error(), "already joined") {
+		t.Fatalf("duplicate name: err = %v, want already-joined rejection", err)
+	}
+
+	m1, err := Join(ctx, addr, "w1", "127.0.0.1:9402")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close() //nolint:errcheck // test teardown
+	awaitConfig(t, ctx, m0, 1)
+
+	if _, err := Join(ctx, addr, "w9", "127.0.0.1:9403"); err == nil || !strings.Contains(err.Error(), "late join") {
+		t.Fatalf("late join: err = %v, want late-join rejection", err)
+	}
+}
+
+func TestGracefulCompletionEndsServe(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	addr, _, served := startCoordinator(t, ctx, fastHB(CoordinatorConfig{World: 2}))
+
+	var ms [2]*Member
+	var wg sync.WaitGroup
+	for i := range ms {
+		m, err := Join(ctx, addr, fmt.Sprintf("w%d", i), fmt.Sprintf("127.0.0.1:%d", 9500+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	for _, m := range ms {
+		awaitConfig(t, ctx, m, 1)
+	}
+	for _, m := range ms {
+		wg.Add(1)
+		go func(m *Member) {
+			defer wg.Done()
+			m.Leave(true) //nolint:errcheck // coordinator may already be finishing
+		}(m)
+	}
+	wg.Wait()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve after graceful completion = %v, want nil", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("Serve did not return after all members left")
+	}
+}

@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CoordinatorConfig parameterises a job coordinator.
+type CoordinatorConfig struct {
+	// World is the worker count the job launches at; epoch 1 is
+	// declared the moment the World-th worker joins.
+	World int
+	// MinWorld aborts the job when failures shrink membership below it.
+	// 0 means 1: the job runs down to a single worker.
+	MinWorld int
+	// HeartbeatInterval is pushed to every member in the welcome
+	// message; 0 means DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a silent member dead; 0 means
+	// DefaultHeartbeatTimeout.
+	HeartbeatTimeout time.Duration
+	// Logf, when non-nil, receives membership and epoch events.
+	Logf func(format string, args ...any)
+}
+
+func (c *CoordinatorConfig) withDefaults() CoordinatorConfig {
+	out := *c
+	if out.MinWorld < 1 {
+		out.MinWorld = 1
+	}
+	if out.HeartbeatInterval <= 0 {
+		out.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if out.HeartbeatTimeout <= 0 {
+		out.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// memberState is the coordinator's view of one worker.
+type memberState struct {
+	name     string
+	addr     string
+	codec    *connCodec
+	rank     int
+	lastHB   time.Time
+	welcomed bool       // welcome written; configs may follow
+	sendMu   sync.Mutex // serialises coordinator→member writes
+}
+
+func (m *memberState) send(msg *message) error {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	return m.codec.write(msg)
+}
+
+// Coordinator is the rendezvous and membership service of an elastic
+// job: workers join by name, the coordinator freezes epoch 1 when the
+// configured world size is reached, and every detected failure advances
+// the job to a new epoch with the survivors re-ranked densely.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu       sync.Mutex
+	members  map[string]*memberState
+	epoch    uint64
+	started  bool
+	done     bool
+	abortErr error
+	finished chan struct{}
+}
+
+// NewCoordinator creates a coordinator for a cfg.World-worker job.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.World < 1 {
+		return nil, fmt.Errorf("cluster: world size %d < 1", cfg.World)
+	}
+	full := cfg.withDefaults()
+	if full.MinWorld > cfg.World {
+		return nil, fmt.Errorf("cluster: min world %d exceeds world %d", full.MinWorld, cfg.World)
+	}
+	if full.HeartbeatTimeout <= full.HeartbeatInterval {
+		return nil, fmt.Errorf("cluster: heartbeat timeout %v must exceed interval %v",
+			full.HeartbeatTimeout, full.HeartbeatInterval)
+	}
+	return &Coordinator{
+		cfg:      full,
+		members:  make(map[string]*memberState, cfg.World),
+		finished: make(chan struct{}),
+	}, nil
+}
+
+// Epoch returns the most recently declared epoch (0 before the job
+// forms).
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Serve runs the coordinator on ln until the job completes (a worker
+// reports done and every control connection has drained), the job
+// aborts (membership fell below MinWorld), or ctx is cancelled. The
+// listener is closed on return.
+func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
+	defer ln.Close() //nolint:errcheck // Serve owns the listener's lifetime
+
+	monitorDone := make(chan struct{})
+	go c.monitor(monitorDone)
+	defer close(monitorDone)
+
+	var handlers sync.WaitGroup
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed: Serve is returning
+			}
+			handlers.Add(1)
+			go func() {
+				defer handlers.Done()
+				c.handleConn(conn)
+			}()
+		}
+	}()
+
+	var err error
+	select {
+	case <-ctx.Done():
+		err = ctx.Err()
+	case <-c.finished:
+		c.mu.Lock()
+		err = c.abortErr
+		c.mu.Unlock()
+	}
+	ln.Close() //nolint:errcheck // unblock the accept loop
+	c.closeAllConns()
+	<-acceptDone
+	handlers.Wait()
+	return err
+}
+
+// handleConn owns one worker's control connection: join handshake, then
+// heartbeats and departure.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	codec := newCodec(conn)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck // bound the join handshake
+	first, err := codec.read()
+	if err != nil || first.T != msgJoin || first.Name == "" || first.Addr == "" {
+		codec.write(&message{T: msgReject, Reason: "malformed join"}) //nolint:errcheck // peer is broken anyway
+		conn.Close()                                                  //nolint:errcheck // rejected
+		return
+	}
+
+	m := &memberState{name: first.Name, addr: first.Addr, codec: codec, lastHB: time.Now()}
+	if reason := c.admit(m); reason != "" {
+		codec.write(&message{T: msgReject, Reason: reason}) //nolint:errcheck // best-effort courtesy
+		conn.Close()                                        //nolint:errcheck // rejected
+		return
+	}
+	// Welcome seals the heartbeat contract. It is sent before the world
+	// can fill (maybeStart below), so a member always reads its welcome
+	// before any epoch config.
+	if err := m.send(&message{
+		T:      msgWelcome,
+		HBMs:   c.cfg.HeartbeatInterval.Milliseconds(),
+		DeadMs: c.cfg.HeartbeatTimeout.Milliseconds(),
+	}); err != nil {
+		c.reportDown(m, "welcome write failed")
+		conn.Close() //nolint:errcheck // already counted as down
+		return
+	}
+	c.maybeStart(m)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(4 * c.cfg.HeartbeatTimeout)) //nolint:errcheck // catch wedged conns the monitor missed
+		msg, err := codec.read()
+		if err != nil {
+			c.reportDown(m, "control connection lost")
+			conn.Close() //nolint:errcheck // reader owns teardown
+			return
+		}
+		switch msg.T {
+		case msgHeartbeat:
+			c.mu.Lock()
+			m.lastHB = time.Now()
+			stale := c.members[m.name] != m
+			c.mu.Unlock()
+			if stale {
+				// Declared dead earlier (e.g. a heartbeat gap) but still
+				// talking: tell it to stop; the job moved on without it.
+				m.send(&message{T: msgAbort, Reason: "declared dead; rejoin is not supported"}) //nolint:errcheck // best-effort
+				conn.Close()                                                                   //nolint:errcheck // zombie member
+				return
+			}
+		case msgLeave:
+			c.depart(m, msg.Done)
+			conn.Close() //nolint:errcheck // graceful end of control stream
+			return
+		default:
+			c.reportDown(m, fmt.Sprintf("unexpected %q message", msg.T))
+			conn.Close() //nolint:errcheck // protocol violation
+			return
+		}
+	}
+}
+
+// admit registers a joining member; it returns a non-empty rejection
+// reason when the join is not allowed.
+func (c *Coordinator) admit(m *memberState) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.done:
+		return "job already finished"
+	case c.abortErr != nil:
+		return "job aborted"
+	case c.started:
+		// Elastic GROWTH (rejoin / scale-up) is not implemented; the
+		// subsystem only shrinks. See docs/ARCHITECTURE.md, Future work.
+		return "job already running; late join not supported"
+	case c.members[m.name] != nil:
+		return fmt.Sprintf("name %q already joined", m.name)
+	}
+	c.members[m.name] = m
+	c.cfg.Logf("cluster: %s joined from %s (%d/%d)", m.name, m.addr, len(c.members), c.cfg.World)
+	return ""
+}
+
+// maybeStart declares epoch 1 once the world is full and every member
+// has been welcomed — the welcomed gate guarantees no member can read
+// an epoch config before its welcome, even with concurrent joins.
+func (c *Coordinator) maybeStart(m *memberState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.members[m.name] == m {
+		m.welcomed = true
+	}
+	if c.started || len(c.members) != c.cfg.World {
+		return
+	}
+	for _, mm := range c.members {
+		if !mm.welcomed {
+			return
+		}
+	}
+	c.started = true
+	c.formEpochLocked()
+}
+
+// depart handles a graceful leave. The first leave carrying done=true
+// marks the job complete, after which departures and failures no longer
+// declare epochs.
+func (c *Coordinator) depart(m *memberState, jobDone bool) {
+	c.mu.Lock()
+	if c.members[m.name] == m {
+		delete(c.members, m.name)
+		c.cfg.Logf("cluster: %s left (done=%v)", m.name, jobDone)
+	}
+	if jobDone {
+		c.done = true
+	}
+	c.maybeFinishLocked()
+	c.mu.Unlock()
+}
+
+// reportDown removes a failed member and, when the job is mid-flight,
+// declares the next epoch for the survivors.
+func (c *Coordinator) reportDown(m *memberState, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.members[m.name] != m {
+		return // already departed or superseded
+	}
+	delete(c.members, m.name)
+	c.cfg.Logf("cluster: %s is down (%s); %d remain", m.name, reason, len(c.members))
+	if c.done || !c.started {
+		c.maybeFinishLocked()
+		return
+	}
+	if len(c.members) < c.cfg.MinWorld {
+		c.abortLocked(fmt.Errorf("cluster: %d workers left, below minimum %d", len(c.members), c.cfg.MinWorld))
+		return
+	}
+	c.formEpochLocked()
+}
+
+// formEpochLocked declares the next epoch over the current membership:
+// ranks are assigned by name order at epoch 1 and by previous rank
+// order afterwards, so survivors keep their relative order and the
+// checkpoint→shard mapping stays deterministic. Caller holds c.mu.
+func (c *Coordinator) formEpochLocked() {
+	c.epoch++
+	list := make([]*memberState, 0, len(c.members))
+	for _, m := range c.members {
+		list = append(list, m)
+	}
+	if c.epoch == 1 {
+		sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	} else {
+		sort.Slice(list, func(i, j int) bool { return list[i].rank < list[j].rank })
+	}
+	names := make([]string, len(list))
+	addrs := make([]string, len(list))
+	for rank, m := range list {
+		m.rank = rank
+		names[rank] = m.name
+		addrs[rank] = m.addr
+	}
+	c.cfg.Logf("cluster: epoch %d formed: world %d, members %v", c.epoch, len(list), names)
+	epoch := c.epoch
+	for _, m := range list {
+		msg := &message{T: msgConfig, Config: &Config{
+			Epoch: epoch, Rank: m.rank, World: len(list), Names: names, Addrs: addrs,
+		}}
+		// Sends leave the lock's critical path via goroutines so one
+		// stalled member cannot delay the rest of the epoch broadcast; a
+		// failed send surfaces as that member's failure.
+		go func(m *memberState) {
+			if err := m.send(msg); err != nil {
+				c.reportDown(m, "config write failed")
+			}
+		}(m)
+	}
+}
+
+// abortLocked fails the whole job: every member gets an abort message,
+// then Serve returns the error. The farewell writes complete (or time
+// out) BEFORE finished is closed, so Serve's teardown cannot cut a
+// connection mid-abort. Caller holds c.mu.
+func (c *Coordinator) abortLocked(err error) {
+	if c.abortErr != nil {
+		return
+	}
+	c.abortErr = err
+	c.cfg.Logf("cluster: aborting job: %v", err)
+	members := make([]*memberState, 0, len(c.members))
+	for _, m := range c.members {
+		members = append(members, m)
+	}
+	go func() {
+		var wg sync.WaitGroup
+		for _, m := range members {
+			wg.Add(1)
+			go func(m *memberState) {
+				defer wg.Done()
+				m.codec.conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // bound the farewell
+				m.send(&message{T: msgAbort, Reason: err.Error()})             //nolint:errcheck // best-effort farewell
+				m.codec.conn.Close()                                           //nolint:errcheck // tear down control plane
+			}(m)
+		}
+		wg.Wait()
+		close(c.finished)
+	}()
+}
+
+// maybeFinishLocked completes Serve once the job is done and the last
+// control connection has drained. Caller holds c.mu.
+func (c *Coordinator) maybeFinishLocked() {
+	if c.done && len(c.members) == 0 && c.abortErr == nil {
+		select {
+		case <-c.finished:
+		default:
+			close(c.finished)
+		}
+	}
+}
+
+// monitor watches heartbeat deadlines until done is closed.
+func (c *Coordinator) monitor(done <-chan struct{}) {
+	tick := time.NewTicker(c.cfg.HeartbeatInterval / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		var dead []*memberState
+		if c.started && !c.done && c.abortErr == nil {
+			for _, m := range c.members {
+				if now.Sub(m.lastHB) > c.cfg.HeartbeatTimeout {
+					dead = append(dead, m)
+				}
+			}
+		}
+		c.mu.Unlock()
+		for _, m := range dead {
+			c.reportDown(m, fmt.Sprintf("missed heartbeats for %v", c.cfg.HeartbeatTimeout))
+		}
+	}
+}
+
+// closeAllConns tears down every remaining control connection.
+func (c *Coordinator) closeAllConns() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		m.codec.conn.Close() //nolint:errcheck // teardown path
+	}
+}

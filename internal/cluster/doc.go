@@ -1,0 +1,60 @@
+// Package cluster turns the fixed-membership gTop-k S-SGD reproduction
+// into an elastic distributed job: a coordinator hands out ranks and
+// the data-plane address list to workers that join by name, workers
+// exchange heartbeats with the coordinator, and when a worker dies the
+// survivors re-form the mesh at the smaller world size and resume
+// training from the last checkpoint — momentum and error-feedback
+// residual intact, so gTop-k convergence behaviour is preserved across
+// the shrink.
+//
+// # Roles
+//
+//   - Coordinator (one per job): accepts control-plane connections,
+//     assigns ranks, detects failures (heartbeat timeout or control
+//     connection loss) and declares cluster epochs.
+//   - Member (one per worker): the control-plane client — joins by
+//     name, streams heartbeats, and surfaces each newly declared epoch
+//     configuration to the runtime.
+//   - Runtime (one per worker): composes Member, transport.JoinMesh,
+//     collective.Rebuild and core.Trainer into a training loop that
+//     survives membership changes.
+//
+// # Epoch state machine
+//
+// The job advances through monotonically increasing epochs. Epoch e is
+// a frozen membership list: names, ranks and data-plane addresses. All
+// collective traffic is confined to one epoch's mesh; transport
+// handshakes are epoch-stamped so stragglers can never leak frames
+// across epochs.
+//
+//	coordinator:  gathering ──(world full)──▶ running(e=1)
+//	                 ▲                          │ member dies (missed
+//	                 │                          │ heartbeats / conn lost)
+//	              (never: join                  ▼
+//	               after start                running(e+1)  … until a
+//	               is rejected)               worker reports completion
+//
+//	worker:  join ─▶ wait config(e) ─▶ mesh(e) ─▶ agree on resume
+//	              ▲                                iteration ─▶ train
+//	              │                                   │
+//	              └── step error / new config ────────┘
+//
+// A worker whose training step fails (a peer died mid-collective) does
+// not exit: it waits for the next epoch's configuration, rebuilds the
+// mesh via transport.JoinMesh (same listener, new epoch stamp),
+// re-forks its sub-communicator from the rebuilt collective.Comm, and
+// resumes from its own checkpoint after all survivors agree — via a
+// Gather/Bcast round on the new mesh — that they hold snapshots of the
+// same iteration (and bit-identical weights, compared by checksum).
+//
+// # What a failure costs
+//
+// Steps since the last checkpoint are recomputed at the new world size,
+// and the dead worker's residual (gradient mass it had queued locally)
+// is lost — exactly the semantics of the paper's error-feedback
+// formulation when a worker's local state vanishes. Everything else —
+// weights, momentum, every survivor's residual — carries over, which is
+// why the post-resume trajectory is bit-identical to a fresh job of the
+// surviving size started from the same snapshots (asserted by
+// TestElasticShrinkMatchesFreshRun).
+package cluster

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Member is a worker's control-plane client: it joins a coordinator by
+// name, streams heartbeats, and surfaces each declared epoch Config.
+// The zero value is not usable; construct with Join.
+type Member struct {
+	name  string
+	codec *connCodec
+
+	hbInterval time.Duration
+	hbTimeout  time.Duration
+
+	sendMu sync.Mutex // serialises member→coordinator writes
+
+	mu      sync.Mutex
+	latest  *Config
+	changed chan struct{} // closed and replaced on every new config
+	err     error
+	leaving bool
+	done    chan struct{}
+	doneOne sync.Once
+
+	hbStop    chan struct{}
+	hbOne     sync.Once
+	hbPauseMu sync.Mutex
+	hbPaused  bool // test hook, see pauseHeartbeats
+}
+
+// Join connects to the coordinator at coordAddr and registers name with
+// the given data-plane address. It returns once the coordinator has
+// welcomed the member; epoch configurations arrive asynchronously via
+// Config.
+func Join(ctx context.Context, coordAddr, name, dataAddr string) (*Member, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cluster: empty member name")
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", coordAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", coordAddr, err)
+	}
+	m := &Member{
+		name:    name,
+		codec:   newCodec(conn),
+		changed: make(chan struct{}),
+		done:    make(chan struct{}),
+		hbStop:  make(chan struct{}),
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl) //nolint:errcheck // bound the join handshake
+	} else {
+		conn.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck // bound the join handshake
+	}
+	if err := m.codec.write(&message{T: msgJoin, Name: name, Addr: dataAddr}); err != nil {
+		conn.Close() //nolint:errcheck // handshake failed
+		return nil, fmt.Errorf("cluster: join: %w", err)
+	}
+	resp, err := m.codec.read()
+	if err != nil {
+		conn.Close() //nolint:errcheck // handshake failed
+		return nil, fmt.Errorf("cluster: join %q: %w", name, err)
+	}
+	switch resp.T {
+	case msgWelcome:
+		m.hbInterval = time.Duration(resp.HBMs) * time.Millisecond
+		m.hbTimeout = time.Duration(resp.DeadMs) * time.Millisecond
+		if m.hbInterval <= 0 {
+			m.hbInterval = DefaultHeartbeatInterval
+		}
+		if m.hbTimeout <= 0 {
+			m.hbTimeout = DefaultHeartbeatTimeout
+		}
+	case msgReject:
+		conn.Close() //nolint:errcheck // rejected
+		return nil, fmt.Errorf("cluster: join %q rejected: %s", name, resp.Reason)
+	default:
+		conn.Close() //nolint:errcheck // protocol violation
+		return nil, fmt.Errorf("cluster: join %q: unexpected %q response", name, resp.T)
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck // handshake complete
+
+	go m.readLoop()
+	go m.heartbeatLoop()
+	return m, nil
+}
+
+// Name returns the member's stable cluster name.
+func (m *Member) Name() string { return m.name }
+
+// HeartbeatTimeout returns the coordinator's failure-detection window —
+// the longest a worker should wait for a post-failure reconfiguration
+// before concluding something else is wrong.
+func (m *Member) HeartbeatTimeout() time.Duration { return m.hbTimeout }
+
+// Config returns the latest epoch configuration (nil before the first)
+// and a channel that is closed when a newer one arrives.
+func (m *Member) Config() (*Config, <-chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latest, m.changed
+}
+
+// Done is closed when the control plane terminates: job abort,
+// connection loss, or Leave/Close.
+func (m *Member) Done() <-chan struct{} { return m.done }
+
+// Err reports why the control plane terminated (nil after a clean
+// Leave).
+func (m *Member) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Leave departs gracefully. jobDone=true tells the coordinator the
+// whole job completed, which disarms failure detection for the
+// remaining members' own departures.
+func (m *Member) Leave(jobDone bool) error {
+	m.mu.Lock()
+	m.leaving = true
+	m.mu.Unlock()
+	m.sendMu.Lock()
+	err := m.codec.write(&message{T: msgLeave, Done: jobDone})
+	m.sendMu.Unlock()
+	m.Close()
+	return err
+}
+
+// Close abruptly severs the control plane without a leave message —
+// from the coordinator's perspective this is indistinguishable from the
+// process being SIGKILLed.
+func (m *Member) Close() error {
+	m.hbOne.Do(func() { close(m.hbStop) })
+	err := m.codec.conn.Close()
+	m.finish(nil)
+	return err
+}
+
+// finish records the terminal error (first writer wins) and closes done.
+func (m *Member) finish(err error) {
+	m.mu.Lock()
+	if m.err == nil && err != nil && !m.leaving {
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.doneOne.Do(func() { close(m.done) })
+}
+
+// readLoop consumes coordinator messages until the connection ends.
+func (m *Member) readLoop() {
+	for {
+		msg, err := m.codec.read()
+		if err != nil {
+			m.finish(fmt.Errorf("cluster: control connection lost: %w", err))
+			return
+		}
+		switch msg.T {
+		case msgConfig:
+			if err := validateConfig(msg.Config); err != nil {
+				m.finish(err)
+				return
+			}
+			m.mu.Lock()
+			if m.latest == nil || msg.Config.Epoch > m.latest.Epoch {
+				m.latest = msg.Config
+				close(m.changed)
+				m.changed = make(chan struct{})
+			}
+			m.mu.Unlock()
+		case msgAbort:
+			m.finish(fmt.Errorf("cluster: job aborted by coordinator: %s", msg.Reason))
+			return
+		default:
+			m.finish(fmt.Errorf("cluster: unexpected %q message from coordinator", msg.T))
+			return
+		}
+	}
+}
+
+// heartbeatLoop proves liveness every hbInterval until stopped.
+func (m *Member) heartbeatLoop() {
+	tick := time.NewTicker(m.hbInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.hbStop:
+			return
+		case <-m.done:
+			return
+		case <-tick.C:
+		}
+		m.hbPauseMu.Lock()
+		paused := m.hbPaused
+		m.hbPauseMu.Unlock()
+		if paused {
+			continue
+		}
+		m.sendMu.Lock()
+		err := m.codec.write(&message{T: msgHeartbeat})
+		m.sendMu.Unlock()
+		if err != nil {
+			m.finish(fmt.Errorf("cluster: heartbeat write: %w", err))
+			return
+		}
+	}
+}
+
+// pauseHeartbeats is a test hook that silences the heartbeat stream
+// while keeping the control connection open — simulating a network
+// partition rather than a process death.
+func (m *Member) pauseHeartbeats(paused bool) {
+	m.hbPauseMu.Lock()
+	m.hbPaused = paused
+	m.hbPauseMu.Unlock()
+}

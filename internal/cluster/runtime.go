@@ -1,0 +1,502 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net"
+	"os"
+	"time"
+
+	"gtopkssgd/internal/checkpoint"
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/transport"
+)
+
+// Session is one epoch's training assembly, produced by a BuildFn: the
+// trainer plus the state the runtime checkpoints and restores around
+// epoch changes.
+type Session struct {
+	// Trainer drives the S-SGD loop for this epoch.
+	Trainer *core.Trainer
+	// Params aliases the model's flat parameter buffer (the weights the
+	// runtime snapshots, and overwrites on restore).
+	Params []float32
+	// Sparsifier, when non-nil, owns the error-feedback residual that
+	// must ride along in every snapshot.
+	Sparsifier *core.Sparsifier
+}
+
+// BuildFn assembles a fresh Session for one epoch. It runs once per
+// epoch with that epoch's rank, world size and training communicator
+// (an epoch-private fork; see RuntimeConfig). Model weights must be
+// initialised from the same seed on every rank — the runtime overwrites
+// them from the checkpoint when one exists, but epoch 1 of a fresh job
+// trains from the built initialisation.
+type BuildFn func(rank, world int, comm *collective.Comm) (*Session, error)
+
+// StepInfo reports one completed training step to an OnStep observer.
+type StepInfo struct {
+	// Epoch is the cluster epoch the step ran in.
+	Epoch uint64
+	// Rank and World locate this worker within the epoch.
+	Rank, World int
+	// Iter is the number of completed steps (the step just finished is
+	// iteration Iter-1 counting from zero).
+	Iter int
+	// Loss is the local mini-batch loss of the completed step.
+	Loss float64
+}
+
+// RuntimeConfig parameterises an elastic worker; see Run.
+type RuntimeConfig struct {
+	// Name is this worker's stable identity (ranks change across
+	// epochs, names never do). Required.
+	Name string
+	// Coordinator is the control-plane host:port. Required.
+	Coordinator string
+	// DataAddr is the data-plane listen address; "" means
+	// "127.0.0.1:0" (loopback, OS-assigned port). The concrete address
+	// is advertised to the coordinator and reused across epochs.
+	DataAddr string
+	// Steps is the total training length in iterations. Required.
+	Steps int
+	// CheckpointPath is this worker's snapshot file. Required: failure
+	// recovery resumes from it, so an elastic worker without one would
+	// silently restart from scratch on the first membership change.
+	CheckpointPath string
+	// CheckpointEvery saves a snapshot after every n-th completed
+	// iteration; 0 means 10. All workers must use the same cadence —
+	// survivors can only agree on a resume point they all snapshotted.
+	CheckpointEvery int
+	// Build assembles each epoch's model, aggregator and trainer.
+	// Required.
+	Build BuildFn
+	// OnStep, when non-nil, observes every completed step. Returning a
+	// non-nil error hard-aborts the worker — no leave message, control
+	// and data planes severed — exactly the footprint of a SIGKILL,
+	// which is what the failure tests use it for.
+	OnStep func(StepInfo) error
+	// MeshTimeout bounds one mesh wire-up attempt; 0 means 30s.
+	MeshTimeout time.Duration
+	// Logf, when non-nil, receives progress events.
+	Logf func(format string, args ...any)
+}
+
+func (c *RuntimeConfig) validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("cluster: runtime needs a worker name")
+	case c.Coordinator == "":
+		return fmt.Errorf("cluster: runtime needs a coordinator address")
+	case c.Steps < 1:
+		return fmt.Errorf("cluster: step count %d < 1", c.Steps)
+	case c.CheckpointPath == "":
+		return fmt.Errorf("cluster: runtime needs a checkpoint path (recovery resumes from it)")
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("cluster: negative checkpoint cadence %d", c.CheckpointEvery)
+	case c.Build == nil:
+		return fmt.Errorf("cluster: runtime needs a build function")
+	}
+	return nil
+}
+
+// RunResult summarises a completed elastic training run.
+type RunResult struct {
+	// Steps is the total completed iterations (== RuntimeConfig.Steps).
+	Steps int
+	// Epochs counts the cluster epochs this worker trained in.
+	Epochs int
+	// FinalEpoch, FinalRank and FinalWorld describe the last epoch.
+	FinalEpoch uint64
+	// FinalRank is this worker's rank in the final epoch.
+	FinalRank int
+	// FinalWorld is the final epoch's world size.
+	FinalWorld int
+	// FinalWeights is a copy of the converged parameters.
+	FinalWeights []float32
+	// LastLoss is the final step's local mini-batch loss.
+	LastLoss float64
+	// Stats accumulates communication counters across all epochs.
+	Stats collective.Stats
+}
+
+// errEpochSuperseded marks an epoch torn down because a newer
+// configuration arrived; the runtime loops instead of failing.
+var errEpochSuperseded = errors.New("cluster: epoch superseded")
+
+// errHardAbort marks a deliberate OnStep abort: terminal by definition,
+// never reinterpreted as a reconfiguration.
+var errHardAbort = errors.New("cluster: hard abort")
+
+// Run executes one elastic worker from join to job completion. It
+// opens the data-plane listener, joins the coordinator, and then loops:
+// wire the epoch's mesh, agree on the resume iteration, train, and on
+// membership changes tear down and start the next epoch. It returns
+// when all Steps are complete, the job aborts, or ctx is cancelled.
+func Run(ctx context.Context, cfg RuntimeConfig) (*RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 10
+	}
+	if cfg.MeshTimeout <= 0 {
+		cfg.MeshTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	dataAddr := cfg.DataAddr
+	if dataAddr == "" {
+		dataAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", dataAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: data listener on %s: %w", dataAddr, err)
+	}
+	defer ln.Close() //nolint:errcheck // runtime owns the data listener
+
+	member, err := Join(ctx, cfg.Coordinator, cfg.Name, ln.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer member.Close() //nolint:errcheck // idempotent; Leave already closed on success
+
+	r := &runtime{cfg: cfg, ln: ln, member: member}
+	return r.run(ctx)
+}
+
+// runtime is the per-worker elastic loop state.
+type runtime struct {
+	cfg     RuntimeConfig
+	ln      net.Listener
+	member  *Member
+	carried collective.Stats // communication totals across epochs
+	epochs  int
+}
+
+func (r *runtime) run(ctx context.Context) (*RunResult, error) {
+	var lastEpoch uint64
+	for {
+		conf, changed := r.member.Config()
+		if conf == nil || conf.Epoch <= lastEpoch {
+			select {
+			case <-changed:
+				continue
+			case <-r.member.Done():
+				return nil, r.memberErr()
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		lastEpoch = conf.Epoch
+		r.epochs++
+		res, err := r.runEpoch(ctx, conf)
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, errEpochSuperseded):
+			r.cfg.Logf("%s: epoch %d superseded, reconfiguring", r.cfg.Name, conf.Epoch)
+			continue
+		default:
+			return nil, err
+		}
+	}
+}
+
+func (r *runtime) memberErr() error {
+	if err := r.member.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("cluster: control plane closed before training completed")
+}
+
+// runEpoch wires one epoch's mesh and trains on it until completion or
+// supersession. The returned error is errEpochSuperseded when a newer
+// configuration interrupted the epoch.
+func (r *runtime) runEpoch(ctx context.Context, conf *Config) (res *RunResult, err error) {
+	r.cfg.Logf("%s: epoch %d: rank %d of %d", r.cfg.Name, conf.Epoch, conf.Rank, conf.World)
+
+	// The epoch context is cancelled the moment a newer configuration
+	// (or control-plane death) arrives, unblocking any collective the
+	// trainer is stuck in — that is what lets a survivor paused inside
+	// a half-dead AllReduce abandon it and rejoin the next epoch.
+	epochCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cur, changed := r.member.Config()
+	if cur != nil && cur.Epoch > conf.Epoch {
+		return nil, errEpochSuperseded // a newer config landed while this one was queued
+	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-changed:
+			cancel()
+		case <-r.member.Done():
+			cancel()
+		case <-watchDone:
+		}
+	}()
+
+	// Rebuild the mesh for this epoch on the persistent listener.
+	meshCtx, meshCancel := context.WithTimeout(epochCtx, r.cfg.MeshTimeout)
+	conn, err := transport.JoinMesh(meshCtx, transport.MeshConfig{
+		Rank:     conf.Rank,
+		Addrs:    conf.Addrs,
+		Epoch:    conf.Epoch,
+		Listener: r.ln,
+	})
+	meshCancel()
+	if err != nil {
+		return nil, r.classify(epochCtx, fmt.Errorf("cluster: epoch %d mesh: %w", conf.Epoch, err))
+	}
+	defer conn.Close() //nolint:errcheck // epoch teardown
+
+	// The rebuilt parent communicator carries the communication totals
+	// of earlier epochs; training runs on a fork so control traffic
+	// (resume agreement, completion barrier) never shares tag space
+	// with the aggregator's collectives.
+	comm := collective.Rebuild(conn, r.carried)
+	kids, err := comm.Fork(1)
+	if err != nil {
+		return nil, err
+	}
+	train := kids[0]
+	// Fold this epoch's traffic into the carried totals on EVERY exit —
+	// an epoch ended by supersession did real communication too, and
+	// the next epoch's Rebuild must inherit it.
+	folded := false
+	foldStats := func() {
+		if !folded {
+			folded = true
+			comm.AddStats(train.Stats())
+			r.carried = comm.Stats()
+		}
+	}
+	defer foldStats()
+
+	sess, err := r.cfg.Build(conf.Rank, conf.World, train)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: epoch %d build: %w", conf.Epoch, err)
+	}
+	if sess == nil || sess.Trainer == nil || sess.Params == nil {
+		return nil, fmt.Errorf("cluster: epoch %d build returned an incomplete session", conf.Epoch)
+	}
+
+	resumeIter, err := r.restore(sess)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.agreeOnResume(epochCtx, comm, conf, resumeIter, sess.Params); err != nil {
+		return nil, r.classify(epochCtx, err)
+	}
+	if resumeIter > 0 {
+		r.cfg.Logf("%s: epoch %d: resuming at iteration %d", r.cfg.Name, conf.Epoch, resumeIter)
+	}
+
+	lastLoss, err := r.trainLoop(epochCtx, conf, sess)
+	if errors.Is(err, errHardAbort) {
+		return nil, err
+	}
+	if err != nil {
+		return nil, r.classify(epochCtx, err)
+	}
+
+	// Completion: final snapshot, then a barrier so nobody's leave can
+	// race a peer still inside its last collective, then a graceful
+	// leave that tells the coordinator the job is done.
+	if err := r.snapshot(sess, conf); err != nil {
+		return nil, err
+	}
+	if err := comm.Barrier(epochCtx); err != nil {
+		return nil, r.classify(epochCtx, err)
+	}
+	foldStats()
+	if err := r.member.Leave(true); err != nil {
+		r.cfg.Logf("%s: leave after completion: %v (job already done; ignoring)", r.cfg.Name, err)
+	}
+	return &RunResult{
+		Steps:        sess.Trainer.Iter(),
+		Epochs:       r.epochs,
+		FinalEpoch:   conf.Epoch,
+		FinalRank:    conf.Rank,
+		FinalWorld:   conf.World,
+		FinalWeights: append([]float32(nil), sess.Params...),
+		LastLoss:     lastLoss,
+		Stats:        r.carried,
+	}, nil
+}
+
+// trainLoop steps the trainer from its restored iteration to Steps,
+// snapshotting on the configured cadence.
+func (r *runtime) trainLoop(epochCtx context.Context, conf *Config, sess *Session) (float64, error) {
+	var lastLoss float64
+	for sess.Trainer.Iter() < r.cfg.Steps {
+		loss, err := sess.Trainer.Step(epochCtx)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: epoch %d step %d: %w", conf.Epoch, sess.Trainer.Iter(), err)
+		}
+		lastLoss = loss
+		if r.cfg.OnStep != nil {
+			info := StepInfo{
+				Epoch: conf.Epoch, Rank: conf.Rank, World: conf.World,
+				Iter: sess.Trainer.Iter(), Loss: loss,
+			}
+			if err := r.cfg.OnStep(info); err != nil {
+				// Hard abort requested: die like a SIGKILL would — no
+				// leave, no final snapshot, sockets simply vanish.
+				r.member.Close() //nolint:errcheck // abrupt by design
+				return 0, fmt.Errorf("%w: %s at iteration %d: %w", errHardAbort, r.cfg.Name, info.Iter, err)
+			}
+		}
+		iter := sess.Trainer.Iter()
+		if iter < r.cfg.Steps && iter%r.cfg.CheckpointEvery == 0 {
+			if err := r.snapshot(sess, conf); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return lastLoss, nil
+}
+
+// restore loads this worker's snapshot into the fresh session and
+// returns the iteration to resume from (0 when no snapshot exists).
+func (r *runtime) restore(sess *Session) (int, error) {
+	st, err := checkpoint.LoadFile(r.cfg.CheckpointPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("cluster: load checkpoint: %w", err)
+	}
+	if err := st.ValidateName(r.cfg.Name); err != nil {
+		return 0, err
+	}
+	if len(st.Weights) != len(sess.Params) {
+		return 0, fmt.Errorf("cluster: checkpoint has %d weights, model has %d", len(st.Weights), len(sess.Params))
+	}
+	copy(sess.Params, st.Weights)
+	if err := sess.Trainer.Restore(int(st.Iter), st.Velocity); err != nil {
+		return 0, fmt.Errorf("cluster: restore trainer: %w", err)
+	}
+	if sess.Sparsifier != nil && st.Residual != nil {
+		if err := sess.Sparsifier.RestoreResidual(st.Residual); err != nil {
+			return 0, fmt.Errorf("cluster: restore residual: %w", err)
+		}
+	}
+	return int(st.Iter), nil
+}
+
+// snapshot atomically persists the session's full optimizer state —
+// weights, momentum, error-feedback residual — plus the cluster
+// coordinates of the save.
+func (r *runtime) snapshot(sess *Session, conf *Config) error {
+	st := &checkpoint.State{
+		Iter:     uint64(sess.Trainer.Iter()),
+		Weights:  sess.Params,
+		Velocity: sess.Trainer.Velocity(),
+	}
+	if sess.Sparsifier != nil {
+		st.Residual = sess.Sparsifier.Residual()
+	}
+	st.SetClusterMeta(conf.Epoch, conf.World, conf.Rank, r.cfg.Name)
+	if err := checkpoint.SaveFile(r.cfg.CheckpointPath, st); err != nil {
+		return fmt.Errorf("cluster: snapshot at iteration %d: %w", st.Iter, err)
+	}
+	return nil
+}
+
+// agreeOnResume makes the epoch's members prove they are resuming from
+// the same snapshot: every rank contributes (iter, crc32(weights)) via
+// a Gather to rank 0, which validates and broadcasts the verdict. A
+// mismatch means checkpoint cadences diverged (or a foreign file was
+// supplied) — training from there would silently fork the replicas, so
+// the job fails loudly instead.
+func (r *runtime) agreeOnResume(ctx context.Context, comm *collective.Comm, conf *Config, iter int, weights []float32) error {
+	blob := make([]byte, 12)
+	binary.LittleEndian.PutUint64(blob[0:8], uint64(iter))
+	binary.LittleEndian.PutUint32(blob[8:12], weightsCRC(weights))
+	blobs, err := comm.Gather(ctx, 0, blob)
+	if err != nil {
+		return fmt.Errorf("cluster: epoch %d resume agreement: %w", conf.Epoch, err)
+	}
+	verdict := []byte("ok")
+	if comm.Rank() == 0 {
+		for rank, b := range blobs {
+			if len(b) != 12 {
+				verdict = []byte(fmt.Sprintf("rank %d sent malformed agreement", rank))
+				break
+			}
+			if got := binary.LittleEndian.Uint64(b[0:8]); got != uint64(iter) {
+				verdict = []byte(fmt.Sprintf("rank %d resumes at iteration %d, rank 0 at %d", rank, got, iter))
+				break
+			}
+			if got := binary.LittleEndian.Uint32(b[8:12]); got != weightsCRC(weights) {
+				verdict = []byte(fmt.Sprintf("rank %d weights diverge from rank 0 at iteration %d", rank, iter))
+				break
+			}
+		}
+	}
+	out, err := comm.Bcast(ctx, 0, verdict)
+	if err != nil {
+		return fmt.Errorf("cluster: epoch %d resume verdict: %w", conf.Epoch, err)
+	}
+	if string(out) != "ok" {
+		return fmt.Errorf("cluster: epoch %d resume agreement failed: %s", conf.Epoch, out)
+	}
+	return nil
+}
+
+// classify decides whether an epoch error is a reconfiguration (a newer
+// config arrived — or will shortly, once the coordinator's failure
+// detector fires) or a genuine failure. On a bare error it waits up to
+// the failure-detection window for the coordinator's verdict.
+func (r *runtime) classify(epochCtx context.Context, err error) error {
+	conf, changed := r.member.Config()
+	latest := uint64(0)
+	if conf != nil {
+		latest = conf.Epoch
+	}
+	select {
+	case <-changed:
+		return errEpochSuperseded
+	default:
+	}
+	if epochCtx.Err() == nil {
+		// The step failed but no reconfiguration has arrived yet. A dead
+		// peer takes the coordinator up to the heartbeat timeout to
+		// detect; wait for its verdict before declaring the job broken.
+		grace := 2*r.member.HeartbeatTimeout() + time.Second
+		select {
+		case <-changed:
+			return errEpochSuperseded
+		case <-r.member.Done():
+			return r.memberErr()
+		case <-time.After(grace):
+			return fmt.Errorf("%w (no reconfiguration within %v of epoch %d)", err, grace, latest)
+		}
+	}
+	select {
+	case <-r.member.Done():
+		return r.memberErr()
+	default:
+	}
+	return errEpochSuperseded
+}
+
+// weightsCRC fingerprints a weight vector for the resume agreement.
+func weightsCRC(w []float32) uint32 {
+	crc := crc32.NewIEEE()
+	var buf [4]byte
+	for _, v := range w {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		crc.Write(buf[:]) //nolint:errcheck // hash.Hash never errors
+	}
+	return crc.Sum32()
+}

@@ -54,6 +54,18 @@ func New(conn transport.Conn) *Comm {
 	return &Comm{conn: conn}
 }
 
+// Rebuild wraps a fresh transport endpoint in a communicator that
+// starts from previously accumulated statistics. Elastic jobs tear the
+// mesh down and re-wire it on every cluster epoch; rebuilding the
+// communicator with the carried counters keeps per-worker communication
+// totals meaningful across epochs. The tag space restarts at zero —
+// the new epoch's mesh has never seen any tag — so sub-communicators
+// forked from the previous epoch's Comm are dead and must be re-forked
+// from the rebuilt one.
+func Rebuild(conn transport.Conn, carried Stats) *Comm {
+	return &Comm{conn: conn, stats: carried}
+}
+
 // WithClock attaches a simulated clock priced by model. Every subsequent
 // communication round advances the clock by α + nβ for the n elements the
 // slowest participant moves in that round. Returns c for chaining.

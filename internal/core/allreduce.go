@@ -48,27 +48,31 @@ func NaiveGTopKAllReduce(ctx context.Context, comm *collective.Comm, local *spar
 }
 
 // GTopKAllReduce is the paper's Algorithm 3: an efficient global top-k
-// aggregation in 2·log2(P) communication rounds.
+// aggregation in 2·ceil(log2(P)) communication rounds.
 //
-// Phase 1 (tree reduction): log2(P) rounds. In round j, every rank whose
-// index has j+1 low zero bits receives its partner's sparse vector and
-// merges it with the ⊕ operator of Definition 1 (top-k of the sum); the
-// partner goes idle. After the last round rank 0 holds
+// Phase 1 (tree reduction): ceil(log2(P)) rounds. In round j, every
+// rank whose index has j+1 low zero bits receives its partner's sparse
+// vector and merges it with the ⊕ operator of Definition 1 (top-k of
+// the sum); the partner goes idle. After the last round rank 0 holds
 // G̃ = G̃¹ ⊕ G̃² ⊕ … ⊕ G̃ᴾ.
 //
 // Phase 2 (broadcast): rank 0 broadcasts G̃ to all ranks along a binomial
-// tree (the "flat-tree" of the paper), log2(P) more rounds.
+// tree (the "flat-tree" of the paper), ceil(log2(P)) more rounds.
 //
 // The returned vector holds the k largest-magnitude entries of the
 // element-wise sum as selected greedily by the tree (identical on every
-// rank); its Indices serve as the paper's gMask. Requires power-of-two P.
+// rank); its Indices serve as the paper's gMask.
+//
+// The paper assumes power-of-two P (Section III); this implementation
+// generalises the binomial tree to any P ≥ 1 — a receiver whose partner
+// index falls outside [0, P) simply idles that round — so an elastic
+// job that loses a worker (say 4 → 3) keeps aggregating with the same
+// algorithm. For power-of-two P the schedule, and therefore the merge
+// order and the resulting bits, are unchanged.
 //
 // Communication cost (Eq. 7): 2·log(P)·α + 4k·log(P)·β.
 func GTopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector, k int) (*sparse.Vector, error) {
 	p := comm.Size()
-	if p&(p-1) != 0 {
-		return nil, fmt.Errorf("core: gtopk allreduce requires power-of-two workers, got %d", p)
-	}
 	r := comm.Rank()
 	current := local
 
@@ -81,7 +85,7 @@ func GTopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Ve
 		stride := 1 << j
 		group := 1 << (j + 1)
 		switch {
-		case r%group == 0:
+		case r%group == 0 && r+stride < p:
 			// Receiver: partner is r+stride; it holds a live vector.
 			blob, err := comm.RecvTag(ctx, r+stride, base+j)
 			if err != nil {

@@ -187,14 +187,53 @@ func TestGTopKAllReduceIdenticalSupports(t *testing.T) {
 	})
 }
 
-func TestGTopKAllReduceRejectsNonPow2(t *testing.T) {
-	spmd(t, 3, func(c *collective.Comm) error {
-		v := &sparse.Vector{Dim: 10}
-		if _, err := GTopKAllReduce(context.Background(), c, v, 2); err == nil {
-			return fmt.Errorf("non-power-of-two accepted")
+// serialTreeMerge folds worker vectors with the exact binomial schedule
+// GTopKAllReduce uses, serving as the single-threaded reference for
+// non-power-of-two worlds.
+func serialTreeMerge(t *testing.T, vecs []*sparse.Vector, k int) *sparse.Vector {
+	t.Helper()
+	cur := make([]*sparse.Vector, len(vecs))
+	for i, v := range vecs {
+		cur[i] = v.Clone()
+	}
+	p := len(vecs)
+	for stride := 1; stride < p; stride *= 2 {
+		for r := 0; r+stride < p; r += 2 * stride {
+			merged, err := sparse.Merge(cur[r], cur[r+stride], k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur[r] = merged
 		}
-		return nil
-	})
+	}
+	return cur[0]
+}
+
+// TestGTopKAllReduceNonPow2Worlds: the generalised tree must work at any
+// world size — the sizes an elastic job shrinks through (3, 5, 6, 7) —
+// and agree bit-for-bit with a serial execution of the same schedule.
+func TestGTopKAllReduceNonPow2Worlds(t *testing.T) {
+	const dim, k = 120, 6
+	for _, p := range []int{1, 3, 5, 6, 7} {
+		_, vecs := makeWorkerVectors(uint64(40+p), p, dim, k)
+		want := serialTreeMerge(t, vecs, k)
+		spmd(t, p, func(c *collective.Comm) error {
+			got, err := GTopKAllReduce(context.Background(), c, vecs[c.Rank()].Clone(), k)
+			if err != nil {
+				return err
+			}
+			if got.NNZ() != want.NNZ() {
+				return fmt.Errorf("p=%d: nnz %d want %d", p, got.NNZ(), want.NNZ())
+			}
+			for i := range want.Indices {
+				if got.Indices[i] != want.Indices[i] || got.Values[i] != want.Values[i] {
+					return fmt.Errorf("p=%d entry %d: (%d,%v) want (%d,%v)", p, i,
+						got.Indices[i], got.Values[i], want.Indices[i], want.Values[i])
+				}
+			}
+			return nil
+		})
+	}
 }
 
 func TestNaiveGTopKAllReduceMatchesGlobalTopK(t *testing.T) {

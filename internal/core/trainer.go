@@ -37,11 +37,6 @@ func (c TrainConfig) Validate() error {
 	return nil
 }
 
-// Trainer drives one worker's S-SGD loop: compute local gradient →
-// aggregate via the configured algorithm → apply the identical update on
-// every replica. Because the aggregated update is bit-identical across
-// ranks (all aggregators guarantee this), replicas never diverge and no
-// parameter re-synchronisation is needed.
 // PhaseTimes carries one iteration's wall-clock phase durations to an
 // observer installed with SetPhaseHook.
 type PhaseTimes struct {
@@ -50,6 +45,11 @@ type PhaseTimes struct {
 	Update    time.Duration // momentum + weight update
 }
 
+// Trainer drives one worker's S-SGD loop: compute local gradient →
+// aggregate via the configured algorithm → apply the identical update on
+// every replica. Because the aggregated update is bit-identical across
+// ranks (all aggregators guarantee this), replicas never diverge and no
+// parameter re-synchronisation is needed.
 type Trainer struct {
 	cfg      TrainConfig
 	agg      Aggregator

@@ -1,0 +1,228 @@
+// Package doclint enforces the repository's godoc contract with the
+// standard library's go/ast — no third-party linter needed: every
+// package carries a package doc comment, and every exported top-level
+// identifier in library packages carries a doc comment. CI runs it via
+// cmd/doclint (and the package's own test), so a godoc pass can never
+// silently regress.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one missing doc comment.
+type Finding struct {
+	// Pos locates the undocumented declaration.
+	Pos token.Position
+	// Symbol names the undocumented package or identifier.
+	Symbol string
+	// Kind is "package", "func", "type", "const", "var" or "method".
+	Kind string
+}
+
+// String renders the finding in the file:line:col style editors jump to.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s %s is missing a doc comment", f.Pos, f.Kind, f.Symbol)
+}
+
+// CheckDirs lints every Go package found under the given roots (a root
+// ending in "/..." is walked recursively; testdata and hidden
+// directories are skipped) and returns the findings sorted by position.
+func CheckDirs(roots []string) ([]Finding, error) {
+	dirs := map[string]bool{}
+	for _, root := range roots {
+		recursive := false
+		if strings.HasSuffix(root, "/...") {
+			recursive = true
+			root = strings.TrimSuffix(root, "/...")
+		}
+		if !recursive {
+			dirs[filepath.Clean(root)] = true
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			hasGo, err := dirHasGoFiles(path)
+			if err != nil {
+				return err
+			}
+			if hasGo {
+				dirs[filepath.Clean(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var all []Finding
+	for dir := range dirs {
+		fs, err := checkDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos.Filename != all[j].Pos.Filename {
+			return all[i].Pos.Filename < all[j].Pos.Filename
+		}
+		return all[i].Pos.Line < all[j].Pos.Line
+	})
+	return all, nil
+}
+
+func dirHasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// checkDir lints one package directory. Test files are exempt: their
+// exported helpers document themselves through the tests that use them.
+func checkDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("doclint: %s: %w", dir, err)
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, checkPackage(fset, pkg)...)
+	}
+	return findings, nil
+}
+
+func checkPackage(fset *token.FileSet, pkg *ast.Package) []Finding {
+	var findings []Finding
+
+	// Package doc: at least one file must carry one.
+	hasPkgDoc := false
+	var firstFile *ast.File
+	var firstName string
+	for name, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			hasPkgDoc = true
+		}
+		if firstFile == nil || name < firstName {
+			firstFile, firstName = f, name
+		}
+	}
+	if !hasPkgDoc && firstFile != nil {
+		findings = append(findings, Finding{
+			Pos:    fset.Position(firstFile.Package),
+			Symbol: pkg.Name,
+			Kind:   "package",
+		})
+	}
+
+	// Exported identifiers. Commands are exempt beyond the package doc:
+	// their interface is flags, documented in the command comment.
+	if pkg.Name == "main" {
+		return findings
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			findings = append(findings, checkDecl(fset, decl)...)
+		}
+	}
+	return findings
+}
+
+func checkDecl(fset *token.FileSet, decl ast.Decl) []Finding {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || (d.Recv != nil && !receiverExported(d.Recv)) {
+			return nil
+		}
+		if d.Doc == nil {
+			kind := "func"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			return []Finding{{Pos: fset.Position(d.Pos()), Symbol: d.Name.Name, Kind: kind}}
+		}
+	case *ast.GenDecl:
+		if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+			return nil
+		}
+		groupDoc := d.Doc != nil
+		var findings []Finding
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+					findings = append(findings, Finding{Pos: fset.Position(s.Pos()), Symbol: s.Name.Name, Kind: "type"})
+				}
+			case *ast.ValueSpec:
+				// A group comment covers all specs; otherwise each
+				// exported spec needs its own doc or line comment.
+				if groupDoc || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						findings = append(findings, Finding{
+							Pos:    fset.Position(s.Pos()),
+							Symbol: name.Name,
+							Kind:   strings.ToLower(d.Tok.String()),
+						})
+						break
+					}
+				}
+			}
+		}
+		return findings
+	}
+	return nil
+}
+
+// receiverExported reports whether a method's receiver type is
+// exported; methods on unexported types are internal details.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// meshListeners opens one caller-owned loopback listener per rank and
+// returns them with their concrete addresses.
+func meshListeners(t *testing.T, n int) ([]net.Listener, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() }) //nolint:errcheck // test teardown
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	return lns, addrs
+}
+
+// joinAll wires one mesh epoch across caller-owned listeners and
+// returns the connected endpoints.
+func joinAll(t *testing.T, ctx context.Context, epoch uint64, lns []net.Listener, addrs []string) []Conn {
+	t.Helper()
+	conns := make([]Conn, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for r := range addrs {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			conns[r], errs[r] = JoinMesh(ctx, MeshConfig{
+				Rank: r, Addrs: addrs, Epoch: epoch, Listener: lns[r],
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join epoch %d: %v", r, epoch, err)
+		}
+	}
+	return conns
+}
+
+func exchangeRing(t *testing.T, ctx context.Context, conns []Conn, tag int) {
+	t.Helper()
+	n := len(conns)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := range conns {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("from-%d-tag-%d", r, tag))
+			if err := conns[r].Send(ctx, (r+1)%n, tag, msg); err != nil {
+				errs[r] = err
+				return
+			}
+			got, err := conns[r].Recv(ctx, (r-1+n)%n, tag)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			want := fmt.Sprintf("from-%d-tag-%d", (r-1+n)%n, tag)
+			if string(got) != want {
+				errs[r] = fmt.Errorf("rank %d got %q, want %q", r, got, want)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJoinMeshListenerSurvivesEpochs rebuilds a shrinking mesh on the
+// same caller-owned listeners across three epochs — the reconnection
+// pattern the elastic cluster runtime depends on.
+func TestJoinMeshListenerSurvivesEpochs(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	lns, addrs := meshListeners(t, 4)
+
+	conns := joinAll(t, ctx, 1, lns, addrs)
+	exchangeRing(t, ctx, conns, 7)
+	for _, c := range conns {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Epoch 2: rank 1 is gone; survivors re-form at world size 3 reusing
+	// their listeners (old ranks 0,2,3 become 0,1,2).
+	lns2 := []net.Listener{lns[0], lns[2], lns[3]}
+	addrs2 := []string{addrs[0], addrs[2], addrs[3]}
+	conns2 := joinAll(t, ctx, 2, lns2, addrs2)
+	exchangeRing(t, ctx, conns2, 9)
+	for _, c := range conns2 {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJoinMeshRejectsStaleEpoch verifies that a dialler stuck in an old
+// epoch cannot join a newer mesh: its hello is dropped (no ack) and the
+// new epoch's wire-up completes untainted once the laggard catches up.
+func TestJoinMeshRejectsStaleEpoch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	lns, addrs := meshListeners(t, 2)
+
+	// Rank 1 first tries to join epoch 1 while rank 0 is already wiring
+	// epoch 2; the attempt must fail (ctx expiry), not half-connect.
+	staleCtx, staleCancel := context.WithTimeout(ctx, 600*time.Millisecond)
+	defer staleCancel()
+	staleDone := make(chan error, 1)
+	go func() {
+		_, err := JoinMesh(staleCtx, MeshConfig{Rank: 1, Addrs: addrs, Epoch: 1, Listener: lns[1]})
+		staleDone <- err
+	}()
+
+	var (
+		wg     sync.WaitGroup
+		conns  = make([]Conn, 2)
+		joinEr = make([]error, 2)
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conns[0], joinEr[0] = JoinMesh(ctx, MeshConfig{Rank: 0, Addrs: addrs, Epoch: 2, Listener: lns[0]})
+	}()
+
+	if err := <-staleDone; err == nil {
+		t.Fatal("stale-epoch join succeeded against an epoch-2 peer")
+	}
+
+	// The laggard advances to epoch 2; now the mesh completes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conns[1], joinEr[1] = JoinMesh(ctx, MeshConfig{Rank: 1, Addrs: addrs, Epoch: 2, Listener: lns[1]})
+	}()
+	wg.Wait()
+	for r, err := range joinEr {
+		if err != nil {
+			t.Fatalf("rank %d epoch 2: %v", r, err)
+		}
+	}
+	exchangeRing(t, ctx, conns, 3)
+	for _, c := range conns {
+		c.Close() //nolint:errcheck // test teardown
+	}
+}

@@ -2,148 +2,23 @@ package transport
 
 import (
 	"context"
-	"encoding/binary"
-	"fmt"
-	"io"
-	"net"
-	"sync"
-	"time"
 )
 
 // NewTCPWorker joins a multi-process TCP fabric as one rank and returns
 // its endpoint. Unlike NewTCP (which wires all ranks inside one
 // process), every worker process calls NewTCPWorker with its own rank
 // and the full address list; the function returns once the mesh is fully
-// connected. This is how the library deploys on a real cluster:
+// connected. This is how the library deploys on a static cluster:
 //
 //	conn, err := transport.NewTCPWorker(ctx, rank, []string{
 //	    "node0:7000", "node1:7000", "node2:7000", "node3:7000",
 //	})
 //
-// Wire-up protocol: rank r listens on addrs[r], accepts connections from
-// every higher rank, and dials every lower rank (retrying until the peer
-// listens or ctx expires, since process start order is arbitrary). Each
-// dialled connection starts with a 4-byte little-endian hello carrying
-// the dialler's rank. Message framing matches NewTCP exactly.
+// NewTCPWorker is the fixed-membership special case of JoinMesh: it
+// wires epoch 0 with an internally owned listener that is closed once
+// the mesh is up. Elastic deployments — where the address list changes
+// between cluster epochs — use JoinMesh directly (see internal/cluster
+// for the coordinator-driven flow that feeds it).
 func NewTCPWorker(ctx context.Context, rank int, addrs []string) (Conn, error) {
-	n := len(addrs)
-	if n < 1 {
-		return nil, fmt.Errorf("transport: empty address list")
-	}
-	if rank < 0 || rank >= n {
-		return nil, fmt.Errorf("transport: rank %d out of range [0,%d)", rank, n)
-	}
-	c := &tcpConn{
-		rank:  rank,
-		size:  n,
-		peers: make([]*peerLink, n),
-		box:   newMailbox(),
-	}
-	if n == 1 {
-		return c, nil
-	}
-
-	ln, err := net.Listen("tcp", addrs[rank])
-	if err != nil {
-		return nil, fmt.Errorf("transport: rank %d listen on %s: %w", rank, addrs[rank], err)
-	}
-	defer ln.Close() //nolint:errcheck // mesh complete or failed; listener no longer needed
-
-	// Close the listener on cancellation so Accept unblocks.
-	acceptDone := make(chan struct{})
-	go func() {
-		select {
-		case <-ctx.Done():
-			ln.Close() //nolint:errcheck // cancellation path
-		case <-acceptDone:
-		}
-	}()
-	defer close(acceptDone)
-
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		errs = append(errs, err)
-		mu.Unlock()
-	}
-
-	// Accept from all higher ranks.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for accepted := 0; accepted < n-1-rank; accepted++ {
-			sock, err := ln.Accept()
-			if err != nil {
-				fail(fmt.Errorf("rank %d accept: %w", rank, err))
-				return
-			}
-			var hello [4]byte
-			if _, err := io.ReadFull(sock, hello[:]); err != nil {
-				fail(fmt.Errorf("rank %d hello: %w", rank, err))
-				return
-			}
-			peer := int(binary.LittleEndian.Uint32(hello[:]))
-			if peer <= rank || peer >= n {
-				fail(fmt.Errorf("rank %d: unexpected hello from rank %d", rank, peer))
-				return
-			}
-			c.attach(peer, sock)
-		}
-	}()
-
-	// Dial all lower ranks, retrying while they come up.
-	for peer := 0; peer < rank; peer++ {
-		wg.Add(1)
-		go func(peer int) {
-			defer wg.Done()
-			sock, err := dialRetry(ctx, addrs[peer])
-			if err != nil {
-				fail(fmt.Errorf("rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err))
-				return
-			}
-			var hello [4]byte
-			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
-			if _, err := sock.Write(hello[:]); err != nil {
-				fail(fmt.Errorf("rank %d hello to %d: %w", rank, peer, err))
-				return
-			}
-			c.attach(peer, sock)
-		}(peer)
-	}
-	wg.Wait()
-	if len(errs) > 0 {
-		c.Close() //nolint:errcheck // best-effort cleanup on failed wire-up
-		return nil, fmt.Errorf("transport: worker mesh setup: %v", errs[0])
-	}
-	c.startReaders()
-	return c, nil
-}
-
-// dialRetry dials addr with exponential backoff until success or ctx
-// expiry, tolerating the arbitrary start order of worker processes.
-func dialRetry(ctx context.Context, addr string) (net.Conn, error) {
-	backoff := 10 * time.Millisecond
-	const maxBackoff = time.Second
-	var d net.Dialer
-	for {
-		sock, err := d.DialContext(ctx, "tcp", addr)
-		if err == nil {
-			return sock, nil
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(backoff):
-		}
-		if backoff < maxBackoff {
-			backoff *= 2
-		}
-	}
+	return JoinMesh(ctx, MeshConfig{Rank: rank, Addrs: addrs})
 }

@@ -21,21 +21,23 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id to run (see -list)")
-		list  = flag.Bool("list", false, "list available experiments")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "shrink training experiments to smoke-test size")
-		seed  = flag.Uint64("seed", 42, "random seed for all experiments")
+		expID   = flag.String("exp", "", "experiment id to run (see -list)")
+		list    = flag.Bool("list", false, "list available experiments")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "shrink training experiments to smoke-test size")
+		seed    = flag.Uint64("seed", 42, "random seed for all experiments")
+		jsonOut = flag.String("json", "", "hotpath experiment: output path for the machine-readable report (default BENCH_gtopk.json)")
+		noDelay = flag.Bool("tcp-nodelay", true, "enable TCP_NODELAY on the harness's loopback sockets (false re-enables Nagle)")
 	)
 	flag.Parse()
-	if err := run(*expID, *list, *all, *quick, *seed); err != nil {
+	opt := bench.Options{Quick: *quick, Seed: *seed, JSONPath: *jsonOut, TCPNagle: !*noDelay}
+	if err := run(*expID, *list, *all, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "gtopk-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expID string, list, all, quick bool, seed uint64) error {
-	opt := bench.Options{Quick: quick, Seed: seed}
+func run(expID string, list, all bool, opt bench.Options) error {
 	switch {
 	case list:
 		for _, e := range bench.Experiments() {

@@ -62,13 +62,19 @@ type options struct {
 	ckptPath string
 	traceCSV string
 	// shared training parameters
-	algo    string
-	steps   int
-	batch   int
-	density float64
-	lr      float64
-	seed    uint64
-	timeout time.Duration
+	algo       string
+	steps      int
+	batch      int
+	density    float64
+	lr         float64
+	seed       uint64
+	timeout    time.Duration
+	tcpNoDelay bool
+}
+
+// tcpOptions maps the -tcp-nodelay flag onto the transport options.
+func (o *options) tcpOptions() transport.TCPOptions {
+	return transport.TCPOptions{DisableNoDelay: !o.tcpNoDelay}
 }
 
 func main() {
@@ -89,6 +95,7 @@ func main() {
 	flag.Float64Var(&o.lr, "lr", 0.05, "learning rate")
 	flag.Uint64Var(&o.seed, "seed", 42, "shared model/data seed")
 	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "static: mesh setup + training deadline; elastic: per-epoch mesh rebuild bound")
+	flag.BoolVar(&o.tcpNoDelay, "tcp-nodelay", true, "enable TCP_NODELAY on mesh sockets (false re-enables Nagle's algorithm)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -215,6 +222,7 @@ func runElastic(o *options) error {
 		CheckpointPath:  filepath.Join(o.ckptDir, o.name+".gtkc"),
 		CheckpointEvery: o.ckptEvery,
 		MeshTimeout:     o.timeout,
+		TCP:             o.tcpOptions(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -255,7 +263,9 @@ func runStatic(o *options) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
-	conn, err := transport.NewTCPWorker(ctx, o.rank, addrs)
+	conn, err := transport.JoinMesh(ctx, transport.MeshConfig{
+		Rank: o.rank, Addrs: addrs, TCP: o.tcpOptions(),
+	})
 	if err != nil {
 		return fmt.Errorf("join mesh: %w", err)
 	}

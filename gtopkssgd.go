@@ -142,6 +142,16 @@ func TopKSelect(x []float32, k int) *Vector { return sparse.TopK(x, k) }
 // element-wise sum of two sparse vectors.
 func Merge(a, b *Vector, k int) (*Vector, error) { return sparse.Merge(a, b, k) }
 
+// MergeInto is the allocation-free ⊕: the result lands in dst (capacity
+// reused), with the intermediate sum in pooled scratch. See
+// sparse.MergeInto.
+func MergeInto(dst, a, b *Vector, k int) error { return sparse.MergeInto(dst, a, b, k) }
+
+// DecodeView parses the sparse wire format without copying: the returned
+// vector aliases the frame until it is released. See sparse.DecodeView
+// for the ownership rules.
+func DecodeView(buf []byte) (Vector, error) { return sparse.DecodeView(buf) }
+
 // DensityToK converts a density ρ into the selection count k = ρ·m,
 // clamped to [1, dim].
 func DensityToK(dim int, density float64) int { return core.DensityToK(dim, density) }
@@ -155,6 +165,14 @@ func NewSparsifier(dim int) *Sparsifier { return core.NewSparsifier(dim) }
 // rounds. Requires power-of-two worker counts.
 func GTopKAllReduce(ctx context.Context, comm *Comm, local *Vector, k int) (*Vector, error) {
 	return core.GTopKAllReduce(ctx, comm, local, k)
+}
+
+// GTopKAllReduceInto is the zero-allocation form of GTopKAllReduce: the
+// result lands in out (capacity reused across iterations) and each tree
+// round's payload is pipelined as `chunks` frames. Every rank must pass
+// the same chunks value; the result bits do not depend on it.
+func GTopKAllReduceInto(ctx context.Context, comm *Comm, local *Vector, k, chunks int, out *Vector) error {
+	return core.GTopKAllReduceInto(ctx, comm, local, k, chunks, out)
 }
 
 // TopKAllReduce runs the AllGather-based sparse aggregation baseline

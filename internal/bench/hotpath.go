@@ -1,0 +1,411 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/metrics"
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/transport"
+)
+
+// This file is the hot-path benchmark harness: it measures the REAL
+// aggregation pipeline — GTopKAllReduce over the in-process and
+// TCP-loopback fabrics, the bucketed overlapped pipeline, and the merge
+// primitives — with seeded, reproducible inputs, and emits the repo's
+// perf-trajectory artifact BENCH_gtopk.json (ns/op, B/op, allocs/op,
+// bytes on the wire, and speedups against the recorded pre-optimization
+// baseline).
+
+// hotPathDim is the dense dimension every hot-path configuration uses:
+// large enough that rho=0.001 gives the paper's k=100-scale payloads,
+// small enough that a full sweep runs in tens of seconds.
+const hotPathDim = 100_000
+
+// HotPathResult is one measured configuration of the aggregation
+// pipeline.
+type HotPathResult struct {
+	// Name identifies the configuration, e.g. "gtopk/tcp/rho=0.001/P=8".
+	Name string `json:"name"`
+	// NsPerOp is wall time per aggregation round (all ranks completing).
+	NsPerOp int64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are heap allocation totals per round
+	// across all ranks.
+	BytesPerOp  int64 `json:"b_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// WireBytesPerRank is the payload volume one rank sends per round
+	// (zero for single-process primitives with no communicator).
+	WireBytesPerRank int64 `json:"wire_bytes_per_rank,omitempty"`
+	// Chunks is the per-round chunk frame count the collective ran with
+	// (ChunksFor(k); zero for non-collective entries).
+	Chunks int `json:"chunks,omitempty"`
+}
+
+// HotPathSpeedup pairs a configuration with its measured improvement
+// over the recorded baseline.
+type HotPathSpeedup struct {
+	Name     string  `json:"name"`
+	Baseline int64   `json:"baseline_ns_per_op"`
+	Current  int64   `json:"current_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// hotPathReport is the schema of BENCH_gtopk.json.
+type hotPathReport struct {
+	Schema      string `json:"schema"`
+	GeneratedBy string `json:"generated_by"`
+	Seed        uint64 `json:"seed"`
+	Dim         int    `json:"dim"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	// Baseline holds the pre-optimization numbers (see baselineHotPath).
+	Baseline struct {
+		Commit  string          `json:"commit"`
+		Results []HotPathResult `json:"results"`
+	} `json:"baseline"`
+	Current struct {
+		Results []HotPathResult `json:"results"`
+	} `json:"current"`
+	Speedups []HotPathSpeedup `json:"speedups"`
+}
+
+// baselineHotPath records the pre-optimization hot path measured at
+// commit 22e3930 (Decode→Add→TopKSparse per round, monolithic frames,
+// unbuffered TCP writes, closure-based quickselect) with this harness's
+// exact workload shape: dim=100000, seeded top-k inputs, one
+// GTopKAllReduce across all ranks per op. These are the numbers the
+// perf trajectory starts from; Run measures the same matrix live and
+// reports speedups against them.
+var baselineHotPath = []HotPathResult{
+	{Name: "gtopk/inproc/rho=0.001/P=2", NsPerOp: 38334, BytesPerOp: 7015, AllocsPerOp: 30},
+	{Name: "gtopk/inproc/rho=0.001/P=4", NsPerOp: 124066, BytesPerOp: 17209, AllocsPerOp: 76},
+	{Name: "gtopk/inproc/rho=0.001/P=8", NsPerOp: 283980, BytesPerOp: 37605, AllocsPerOp: 168},
+	{Name: "gtopk/inproc/rho=0.01/P=2", NsPerOp: 358354, BytesPerOp: 58345, AllocsPerOp: 30},
+	{Name: "gtopk/inproc/rho=0.01/P=4", NsPerOp: 1048739, BytesPerOp: 141898, AllocsPerOp: 76},
+	{Name: "gtopk/inproc/rho=0.01/P=8", NsPerOp: 2173380, BytesPerOp: 309000, AllocsPerOp: 168},
+	{Name: "gtopk/tcp/rho=0.001/P=2", NsPerOp: 40211, BytesPerOp: 8854, AllocsPerOp: 34},
+	{Name: "gtopk/tcp/rho=0.001/P=4", NsPerOp: 122840, BytesPerOp: 22741, AllocsPerOp: 88},
+	{Name: "gtopk/tcp/rho=0.001/P=8", NsPerOp: 302827, BytesPerOp: 50512, AllocsPerOp: 196},
+	{Name: "gtopk/tcp/rho=0.01/P=2", NsPerOp: 315296, BytesPerOp: 74784, AllocsPerOp: 34},
+	{Name: "gtopk/tcp/rho=0.01/P=4", NsPerOp: 1045461, BytesPerOp: 191216, AllocsPerOp: 88},
+	{Name: "gtopk/tcp/rho=0.01/P=8", NsPerOp: 2316026, BytesPerOp: 424096, AllocsPerOp: 197},
+}
+
+// baselineCommit is where baselineHotPath was measured.
+const baselineCommit = "22e3930"
+
+// hotPathVectors builds the deterministic per-rank top-k inputs.
+func hotPathVectors(seed uint64, p, dim, k int) []*sparse.Vector {
+	vecs := make([]*sparse.Vector, p)
+	for r := 0; r < p; r++ {
+		src := prng.New(seed + uint64(r)*1000)
+		g := make([]float32, dim)
+		for i := range g {
+			g[i] = float32(src.NormFloat64())
+		}
+		vecs[r] = sparse.TopK(g, k)
+	}
+	return vecs
+}
+
+// measureCollective benchmarks one GTopKAllReduce round (all ranks) on
+// the named fabric and returns the result plus per-rank wire volume.
+func measureCollective(fabric string, p int, rho float64, seed uint64, tcpOpts transport.TCPOptions) (HotPathResult, error) {
+	k := core.DensityToK(hotPathDim, rho)
+	vecs := hotPathVectors(seed, p, hotPathDim, k)
+	name := fmt.Sprintf("gtopk/%s/rho=%g/P=%d", fabric, rho, p)
+
+	var wireBytes int64
+	var errMu sync.Mutex
+	var benchErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if benchErr == nil {
+			benchErr = err
+		}
+		errMu.Unlock()
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		var fab transport.Fabric
+		var err error
+		if fabric == "tcp" {
+			fab, err = transport.NewTCPWithOptions(p, tcpOpts)
+		} else {
+			fab, err = transport.NewInProc(p)
+		}
+		if err != nil {
+			fail(err)
+			b.Skip(err)
+			return
+		}
+		defer fab.Close()
+		comms := make([]*collective.Comm, p)
+		outs := make([]sparse.Vector, p)
+		for r := range comms {
+			comms[r] = collective.New(fab.Conn(r))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for r := range comms {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					if err := core.GTopKAllReduceInto(context.Background(), comms[rank],
+						vecs[rank], k, core.ChunksFor(k), &outs[rank]); err != nil {
+						fail(err)
+					}
+				}(r)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		wireBytes = comms[0].Stats().BytesSent / int64(b.N)
+	})
+	if benchErr != nil {
+		return HotPathResult{}, fmt.Errorf("%s: %w", name, benchErr)
+	}
+	return HotPathResult{
+		Name:             name,
+		NsPerOp:          res.NsPerOp(),
+		BytesPerOp:       res.AllocedBytesPerOp(),
+		AllocsPerOp:      res.AllocsPerOp(),
+		WireBytesPerRank: wireBytes,
+		Chunks:           core.ChunksFor(k),
+	}, nil
+}
+
+// measureBucketed benchmarks the bucketed overlapped pipeline's
+// Aggregate (serial facade; buckets still communicate concurrently).
+func measureBucketed(p, buckets int, rho float64, seed uint64) (HotPathResult, error) {
+	name := fmt.Sprintf("gtopk-bucketed/inproc/B=%d/P=%d", buckets, p)
+	grads := make([][]float32, p)
+	for r := range grads {
+		src := prng.New(seed + 77*uint64(r))
+		g := make([]float32, hotPathDim)
+		for i := range g {
+			g[i] = float32(src.NormFloat64())
+		}
+		grads[r] = g
+	}
+	bounds := make([]int, buckets+1)
+	for i := 0; i <= buckets; i++ {
+		bounds[i] = i * hotPathDim / buckets
+	}
+	var errMu sync.Mutex
+	var benchErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if benchErr == nil {
+			benchErr = err
+		}
+		errMu.Unlock()
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		fab, err := transport.NewInProc(p)
+		if err != nil {
+			fail(err)
+			b.Skip(err)
+			return
+		}
+		defer fab.Close()
+		aggs := make([]*core.BucketedAggregator, p)
+		for r := range aggs {
+			agg, err := core.NewBucketedAggregator(collective.New(fab.Conn(r)), bounds, rho)
+			if err != nil {
+				fail(err)
+				b.Skip(err)
+				return
+			}
+			aggs[r] = agg
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for r := range aggs {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					if _, err := aggs[rank].Aggregate(context.Background(), grads[rank]); err != nil {
+						fail(err)
+					}
+				}(r)
+			}
+			wg.Wait()
+		}
+	})
+	if benchErr != nil {
+		return HotPathResult{}, fmt.Errorf("%s: %w", name, benchErr)
+	}
+	return HotPathResult{
+		Name:        name,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}, nil
+}
+
+// measurePrimitives benchmarks the single-threaded merge primitives.
+func measurePrimitives(seed uint64) []HotPathResult {
+	k := core.DensityToK(hotPathDim, 0.01)
+	vecs := hotPathVectors(seed+500, 2, hotPathDim, k)
+	a, b := vecs[0], vecs[1]
+
+	run := func(name string, fn func()) HotPathResult {
+		res := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			tb.ResetTimer()
+			for i := 0; i < tb.N; i++ {
+				fn()
+			}
+		})
+		return HotPathResult{
+			Name:        name,
+			NsPerOp:     res.NsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+	}
+
+	dst, sum := &sparse.Vector{}, &sparse.Vector{}
+	frame := sparse.Encode(b)
+	return []HotPathResult{
+		run(fmt.Sprintf("topk-select/nnz=%d/k=%d", a.NNZ()+b.NNZ(), k), func() {
+			_ = sparse.AddInto(sum, a, b)
+			sparse.TopKSparseInto(dst, sum, k)
+		}),
+		run(fmt.Sprintf("decode-view/k=%d", k), func() {
+			if _, err := sparse.DecodeView(frame); err != nil {
+				panic(err)
+			}
+		}),
+		run(fmt.Sprintf("merge-round-from-wire/k=%d", k), func() {
+			buf := sparse.EncodeSlices(b.Dim, b.Indices, b.Values)
+			view, err := sparse.DecodeView(buf)
+			if err != nil {
+				panic(err)
+			}
+			_ = sparse.AddInto(sum, a, &view)
+			sparse.TopKSparseInto(dst, sum, k)
+			sparse.PutBuffer(buf)
+		}),
+	}
+}
+
+// HotPath runs the full harness and returns the rendered table plus the
+// report. Quick mode shrinks the matrix to one configuration per fabric.
+func HotPath(_ context.Context, opt Options) (string, *hotPathReport, error) {
+	report := &hotPathReport{
+		Schema:      "gtopk-hotpath-bench/v1",
+		GeneratedBy: "gtopk-bench -exp hotpath",
+		Seed:        opt.seed(),
+		Dim:         hotPathDim,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+	report.Baseline.Commit = baselineCommit
+	report.Baseline.Results = baselineHotPath
+
+	workers := []int{2, 4, 8}
+	densities := []float64{0.001, 0.01}
+	if opt.Quick {
+		workers = []int{4}
+		densities = []float64{0.001}
+	}
+	for _, fabric := range []string{"inproc", "tcp"} {
+		for _, rho := range densities {
+			for _, p := range workers {
+				r, err := measureCollective(fabric, p, rho, opt.seed(), transport.TCPOptions{DisableNoDelay: opt.TCPNagle})
+				if err != nil {
+					return "", nil, err
+				}
+				report.Current.Results = append(report.Current.Results, r)
+			}
+		}
+	}
+	if !opt.Quick {
+		for _, buckets := range []int{1, 4} {
+			r, err := measureBucketed(4, buckets, 0.01, opt.seed())
+			if err != nil {
+				return "", nil, err
+			}
+			report.Current.Results = append(report.Current.Results, r)
+		}
+		report.Current.Results = append(report.Current.Results, measurePrimitives(opt.seed())...)
+	}
+
+	base := make(map[string]HotPathResult, len(baselineHotPath))
+	for _, r := range baselineHotPath {
+		base[r.Name] = r
+	}
+	for _, r := range report.Current.Results {
+		if b, ok := base[r.Name]; ok {
+			report.Speedups = append(report.Speedups, HotPathSpeedup{
+				Name:     r.Name,
+				Baseline: b.NsPerOp,
+				Current:  r.NsPerOp,
+				Speedup:  float64(b.NsPerOp) / float64(r.NsPerOp),
+			})
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Hot path: zero-allocation gTop-k aggregation (real pipeline, seeded)\n")
+	fmt.Fprintf(&sb, "dim=%d, chunks=ChunksFor(k) per config, %s %s/%s, %d CPUs; baseline = commit %s\n\n",
+		hotPathDim, report.GoVersion, report.GOOS, report.GOARCH, report.NumCPU, baselineCommit)
+	tb := metrics.NewTable("config", "ns/op", "B/op", "allocs/op", "wire B/rank", "vs baseline")
+	for _, r := range report.Current.Results {
+		speedup := ""
+		if b, ok := base[r.Name]; ok {
+			speedup = fmt.Sprintf("%.2fx", float64(b.NsPerOp)/float64(r.NsPerOp))
+		}
+		wire := ""
+		if r.WireBytesPerRank > 0 {
+			wire = fmt.Sprint(r.WireBytesPerRank)
+		}
+		tb.AddRow(r.Name, fmt.Sprint(r.NsPerOp), fmt.Sprint(r.BytesPerOp),
+			fmt.Sprint(r.AllocsPerOp), wire, speedup)
+	}
+	sb.WriteString(tb.String())
+	sb.WriteString("\nOne op = one full aggregation round across all ranks (allocs summed\nover ranks); merge primitives are single-threaded.\n")
+	return sb.String(), report, nil
+}
+
+// WriteHotPathJSON runs the harness and writes BENCH_gtopk.json (or
+// opt.JSONPath). The artifact is the first point of the repo's measured
+// perf trajectory; CI keeps the harness compiling via the benchmark
+// smoke job.
+func WriteHotPathJSON(ctx context.Context, opt Options) (string, error) {
+	out, report, err := HotPath(ctx, opt)
+	if err != nil {
+		return "", err
+	}
+	path := opt.JSONPath
+	if path == "" {
+		path = "BENCH_gtopk.json"
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return out + fmt.Sprintf("\nwrote %s (%d configurations, baseline %s)\n",
+		path, len(report.Current.Results), baselineCommit), nil
+}

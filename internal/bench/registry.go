@@ -18,6 +18,15 @@ type Options struct {
 	// Seed drives all randomness; the default 42 reproduces the numbers
 	// committed in EXPERIMENTS.md.
 	Seed uint64
+	// JSONPath overrides where the hotpath experiment writes its
+	// machine-readable report (default BENCH_gtopk.json in the working
+	// directory — run from the repo root to refresh the committed
+	// artifact).
+	JSONPath string
+	// TCPNagle disables TCP_NODELAY on the harness's loopback fabrics,
+	// re-enabling Nagle's algorithm (the gtopk-bench -tcp-nodelay=false
+	// escape hatch for bandwidth-bound what-ifs).
+	TCPNagle bool
 }
 
 func (o Options) seed() uint64 {
@@ -155,6 +164,11 @@ func Experiments() []Experiment {
 			ID:          "bucketed-convergence",
 			Description: "Extension: bucketed overlapped gTop-k convergence vs single-bucket gTop-k",
 			Run:         bucketedConvergence,
+		},
+		{
+			ID:          "hotpath",
+			Description: "Hot path: zero-alloc gTop-k aggregation benchmarks; writes BENCH_gtopk.json",
+			Run:         WriteHotPathJSON,
 		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })

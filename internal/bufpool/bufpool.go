@@ -1,0 +1,84 @@
+// Package bufpool is the process-wide recycling pool for wire buffers.
+// The sparse codec draws its encode buffers here, the TCP transport draws
+// its read-side frames here, and both return dead buffers here — so one
+// buffer cycles through encode → send → receive → merge → encode without
+// ever hitting the garbage collector in steady state. A single shared
+// pool (rather than one per package) is what closes that cycle: the
+// consumer of a buffer is usually a different package than its producer.
+//
+// Ownership convention: a buffer has exactly one owner at a time. Put
+// hands ownership to the pool; the caller must hold the only live
+// reference. Get hands ownership to the caller. Whoever consumes a
+// buffer last is responsible for returning it (or leaking it to the GC,
+// which is always safe, merely slower).
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// minClass is the smallest pooled capacity class (64 bytes); anything
+// smaller is cheaper to allocate than to pool. maxClass caps pooled
+// buffers at 1 GiB, matching the transport's frame-size limit.
+const (
+	minClass = 6
+	maxClass = 30
+)
+
+// pools[c] holds buffers whose capacity is at least 1<<c bytes, so a
+// Get(n) with class(n) == c is always satisfied by any pooled entry.
+// Size classes keep a huge dense-gradient frame from being handed to a
+// caller that needs 100 bytes (and vice versa: a tiny buffer from
+// satisfying, then silently re-allocating, a huge request).
+var pools [maxClass + 1]sync.Pool // each stores *[]byte
+
+// boxes recycles the *[]byte headers that carry buffers through pools.
+// Without it every Put would heap-allocate a fresh box for the slice
+// header, quietly re-introducing the per-frame allocation this package
+// exists to remove.
+var boxes sync.Pool // stores *[]byte with nil contents
+
+// class returns the smallest class whose buffers can hold n bytes.
+func class(n int) int {
+	c := bits.Len(uint(n - 1)) // ceil(log2 n) for n > 1
+	if n <= 1<<minClass {
+		return minClass
+	}
+	return c
+}
+
+// Get returns a length-n byte slice, reusing pooled capacity when
+// available. The slice contents are unspecified (callers overwrite).
+func Get(n int) []byte {
+	if n > 1<<maxClass {
+		return make([]byte, n)
+	}
+	c := class(n)
+	if bp, _ := pools[c].Get().(*[]byte); bp != nil {
+		buf := *bp
+		*bp = nil
+		boxes.Put(bp)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// Put recycles a dead buffer. The buffer is filed under the largest
+// class its capacity fully covers, so a later Get of that class cannot
+// receive an undersized buffer. Nil and tiny slices are dropped.
+func Put(buf []byte) {
+	c := cap(buf)
+	if c < 1<<minClass || c > 1<<maxClass {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1 // floor(log2 cap)
+	bp, _ := boxes.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	*bp = buf[:0]
+	pools[cls].Put(bp)
+}

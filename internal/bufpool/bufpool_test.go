@@ -1,0 +1,67 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLength(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1000, 1 << 20} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) returned len %d", n, len(b))
+		}
+		Put(b)
+	}
+}
+
+func TestPutGetReusesCapacity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops puts at random; reuse is not deterministic")
+	}
+	b := Get(1000)
+	base := &b[0]
+	Put(b)
+	c := Get(900) // same class (1024): must reuse the pooled buffer
+	if &c[0] != base {
+		t.Fatalf("Get after Put did not reuse the pooled buffer")
+	}
+	Put(c)
+}
+
+func TestClassSeparation(t *testing.T) {
+	small := Get(64)
+	Put(small)
+	big := Get(1 << 16)
+	if cap(big) < 1<<16 {
+		t.Fatalf("Get(1<<16) returned cap %d", cap(big))
+	}
+	Put(big)
+}
+
+func TestPutEdgeCases(t *testing.T) {
+	Put(nil)               // no-op
+	Put(make([]byte, 3))   // below min class: dropped
+	Put(make([]byte, 100)) // non-power-of-two cap: filed under floor class
+	b := Get(65)
+	if len(b) != 65 {
+		t.Fatalf("Get(65) returned len %d", len(b))
+	}
+}
+
+// TestConcurrent hammers the pool from many goroutines; run with -race.
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := Get(64 + (w*131+i*17)%4096)
+				b[0] = byte(w)
+				Put(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

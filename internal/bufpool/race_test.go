@@ -1,0 +1,7 @@
+//go:build race
+
+package bufpool
+
+// raceEnabled gates assertions that sync.Pool's race-mode behaviour
+// (random put drops) makes non-deterministic.
+const raceEnabled = true

@@ -83,6 +83,10 @@ type RuntimeConfig struct {
 	OnStep func(StepInfo) error
 	// MeshTimeout bounds one mesh wire-up attempt; 0 means 30s.
 	MeshTimeout time.Duration
+	// TCP tunes the data-plane sockets of every epoch's mesh; the zero
+	// value enables TCP_NODELAY (right for the small synchronous
+	// collective frames).
+	TCP transport.TCPOptions
 	// Logf, when non-nil, receives progress events.
 	Logf func(format string, args ...any)
 }
@@ -251,6 +255,7 @@ func (r *runtime) runEpoch(ctx context.Context, conf *Config) (res *RunResult, e
 		Addrs:    conf.Addrs,
 		Epoch:    conf.Epoch,
 		Listener: r.ln,
+		TCP:      r.cfg.TCP,
 	})
 	meshCancel()
 	if err != nil {

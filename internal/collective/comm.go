@@ -134,11 +134,37 @@ func (c *Comm) SendTag(ctx context.Context, dst, tag int, payload []byte) error 
 	return c.send(ctx, dst, tag, payload)
 }
 
+// SendTagPooled is SendTag for payloads drawn from the shared wire-buffer
+// pool (sparse.GetBuffer): ownership passes to the fabric, which recycles
+// the buffer at the earliest safe point — inside Send on fabrics that
+// consume payloads synchronously (TCP), at the receiver otherwise. The
+// caller must not touch the payload afterwards.
+func (c *Comm) SendTagPooled(ctx context.Context, dst, tag int, payload []byte) error {
+	if err := transport.SendPooled(ctx, c.conn, dst, tag, payload); err != nil {
+		return err
+	}
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(len(payload))
+	return nil
+}
+
 // RecvTag receives the payload sent by src under a tag claimed via
 // ClaimTags, updating the statistics counters.
 func (c *Comm) RecvTag(ctx context.Context, src, tag int) ([]byte, error) {
 	return c.recv(ctx, src, tag)
 }
+
+// RecvIsPrivate reports whether payloads returned by RecvTag are private
+// per-receiver copies (true over TCP, false in-process). Shared payloads
+// must never be recycled once forwarded.
+func (c *Comm) RecvIsPrivate() bool { return transport.PrivateRecv(c.conn) }
+
+// SendConsumedOnReturn reports whether a plain SendTag fully consumes
+// the payload before returning (true over TCP, false in-process, where
+// the receiver gets the sender's slice). Only then may a sender recycle
+// a buffer it passed to SendTag; recycling a payload that was also
+// received additionally requires RecvIsPrivate.
+func (c *Comm) SendConsumedOnReturn() bool { return transport.SendConsumedOnReturn(c.conn) }
 
 // ChargeRound lets custom collectives account one synchronous
 // communication round moving elems float32-sized elements.

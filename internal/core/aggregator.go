@@ -152,6 +152,7 @@ type GTopKAggregator struct {
 	mu        float32
 	velocity  []float32
 	dense     []float32
+	global    sparse.Vector // reused tree-collective result (zero steady-state allocs)
 }
 
 // NewGTopKAggregator creates a gTop-k aggregator selecting k of dim
@@ -235,7 +236,10 @@ func (a *GTopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]floa
 	if a.naive {
 		global, err = NaiveGTopKAllReduce(ctx, a.comm, local, a.k)
 	} else {
-		global, err = GTopKAllReduce(ctx, a.comm, local, a.k)
+		// The result vector is owned by the aggregator and reused every
+		// iteration, keeping the whole tree collective allocation-free.
+		err = GTopKAllReduceInto(ctx, a.comm, local, a.k, ChunksFor(a.k), &a.global)
+		global = &a.global
 	}
 	if err != nil {
 		return nil, err

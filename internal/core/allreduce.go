@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"gtopkssgd/internal/collective"
 	"gtopkssgd/internal/sparse"
@@ -11,26 +12,36 @@ import (
 // TopKAllReduce aggregates per-worker sparse top-k gradients with the
 // AllGather method of Algorithm 1 (lines 12-21), the baseline the paper
 // improves on: every worker gathers all P sparse vectors and scatter-adds
-// them into a dense accumulator. The returned sparse vector is the exact
+// them into a pooled dense accumulator, compacting the union support once
+// at the end (O(P·k) adds + one O(u·log u) compaction instead of P
+// repeated sparse merges). The returned sparse vector is the exact
 // element-wise SUM over workers restricted to the union support (callers
-// average by 1/P as Algorithm 1 line 19 does).
+// average by 1/P as Algorithm 1 line 19 does); summation order per index
+// is rank-ascending, bit-identical to a chain of sparse Adds.
 //
 // Communication cost (Eq. 6): log(P)·α + 2(P−1)k·β.
 func TopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector) (*sparse.Vector, error) {
-	blobs, err := comm.AllGather(ctx, sparse.Encode(local))
+	own := sparse.Encode(local)
+	blobs, err := comm.AllGather(ctx, own)
 	if err != nil {
 		return nil, fmt.Errorf("core: topk allreduce: %w", err)
 	}
-	sum := &sparse.Vector{Dim: local.Dim}
+	acc := sparse.GetAccumulator(local.Dim)
+	defer acc.Release()
 	for rank, blob := range blobs {
-		v, err := sparse.Decode(blob)
+		v, err := sparse.DecodeView(blob)
 		if err != nil {
 			return nil, fmt.Errorf("core: topk allreduce: rank %d payload: %w", rank, err)
 		}
-		if sum, err = sparse.Add(sum, v); err != nil {
+		if err := acc.Add(&v); err != nil {
 			return nil, fmt.Errorf("core: topk allreduce: rank %d: %w", rank, err)
 		}
 	}
+	// Only our own encode buffer may be recycled: the remote blobs are
+	// subslices of AllGather's round payloads and alias one another.
+	sparse.PutBuffer(own)
+	sum := &sparse.Vector{}
+	acc.CompactInto(sum)
 	return sum, nil
 }
 
@@ -47,8 +58,38 @@ func NaiveGTopKAllReduce(ctx context.Context, comm *collective.Comm, local *spar
 	return sparse.TopKSparse(sum, k), nil
 }
 
+// DefaultChunks is the payload chunk count GTopKAllReduce uses for large
+// payloads: each tree round's k-entry message is split into up to this
+// many frames so the receiver merges chunk i−1 while chunk i is still on
+// the wire. Chunking never changes the result bits (the merge order
+// within a round is unchanged); it only overlaps transfer with merge
+// work inside a round.
+const DefaultChunks = 4
+
+// minChunkEntries is the smallest payload span worth its own frame:
+// below ~2 KiB on the wire, the per-frame header and flush cost more
+// than the overlap buys back.
+const minChunkEntries = 256
+
+// ChunksFor returns the chunk count the default pipeline uses for a
+// k-entry payload: DefaultChunks, bounded so every chunk carries at
+// least minChunkEntries entries (small payloads stay monolithic). k is
+// a shared parameter of the collective, so every rank derives the same
+// count — which chunked sends and receives require.
+func ChunksFor(k int) int {
+	c := k / minChunkEntries
+	if c < 1 {
+		return 1
+	}
+	if c > DefaultChunks {
+		return DefaultChunks
+	}
+	return c
+}
+
 // GTopKAllReduce is the paper's Algorithm 3: an efficient global top-k
-// aggregation in 2·ceil(log2(P)) communication rounds.
+// aggregation in 2·ceil(log2(P)) communication rounds. It wraps
+// GTopKAllReduceInto with ChunksFor(k) and a fresh result vector.
 //
 // Phase 1 (tree reduction): ceil(log2(P)) rounds. In round j, every
 // rank whose index has j+1 low zero bits receives its partner's sparse
@@ -72,59 +113,215 @@ func NaiveGTopKAllReduce(ctx context.Context, comm *collective.Comm, local *spar
 //
 // Communication cost (Eq. 7): 2·log(P)·α + 4k·log(P)·β.
 func GTopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector, k int) (*sparse.Vector, error) {
+	out := &sparse.Vector{}
+	if err := GTopKAllReduceInto(ctx, comm, local, k, ChunksFor(k), out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GTopKAllReduceInto is GTopKAllReduce's allocation-free core: the global
+// top-k lands in out (capacity reused across iterations — aggregators
+// keep one result vector per communicator and reach steady states with
+// zero allocations in the whole tree phase), and each round's payload is
+// split into the given number of chunk frames (values < 1 behave as 1).
+// Every rank must pass the same chunks value; the result bits are
+// independent of it.
+//
+// The hot path never materialises a received vector: frames are merged
+// through sparse.DecodeView straight from the wire buffer, the merge
+// ping-pongs between pooled scratch vectors, and dead frames return to
+// the shared buffer pool.
+func GTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local *sparse.Vector, k, chunks int, out *sparse.Vector) error {
+	if chunks < 1 {
+		chunks = 1
+	}
 	p := comm.Size()
 	r := comm.Rank()
-	current := local
 
 	rounds := 0
 	for 1<<rounds < p {
 		rounds++
 	}
+	// Pooled scratch: cur ping-pongs across rounds, sum ping-pongs across
+	// the chunks of one round. cur starts as a read-only view of the
+	// caller's local vector.
+	curBuf := [2]*sparse.Vector{sparse.GetVector(), sparse.GetVector()}
+	sumBuf := [2]*sparse.Vector{sparse.GetVector(), sparse.GetVector()}
+	defer func() {
+		sparse.PutVector(curBuf[0])
+		sparse.PutVector(curBuf[1])
+		sparse.PutVector(sumBuf[0])
+		sparse.PutVector(sumBuf[1])
+	}()
+	cur := local
+	ci := 0
+
 	base := comm.ClaimTags(rounds)
 	for j := 0; j < rounds; j++ {
 		stride := 1 << j
 		group := 1 << (j + 1)
 		switch {
 		case r%group == 0 && r+stride < p:
-			// Receiver: partner is r+stride; it holds a live vector.
-			blob, err := comm.RecvTag(ctx, r+stride, base+j)
-			if err != nil {
-				return nil, fmt.Errorf("core: gtopk round %d recv: %w", j, err)
+			// Receiver: partner r+stride streams its live vector as chunk
+			// frames; each is added into the running sum the moment it
+			// lands (overlapping the partner's next chunk send), and the
+			// top-k re-selection runs once after the last chunk. The
+			// sequential per-index adds make the result bit-identical to
+			// an unchunked merge.
+			running, si := cur, 0
+			for i := 0; i < chunks; i++ {
+				blob, err := comm.RecvTag(ctx, r+stride, base+j)
+				if err != nil {
+					return fmt.Errorf("core: gtopk round %d recv: %w", j, err)
+				}
+				peer, err := sparse.DecodeView(blob)
+				if err != nil {
+					return fmt.Errorf("core: gtopk round %d payload: %w", j, err)
+				}
+				err = sparse.AddInto(sumBuf[si], running, &peer)
+				// The frame is dead once added (tree receivers never
+				// forward it); back to the pool it goes.
+				sparse.PutBuffer(blob)
+				if err != nil {
+					return fmt.Errorf("core: gtopk round %d merge: %w", j, err)
+				}
+				running, si = sumBuf[si], si^1
 			}
-			peerVec, err := sparse.Decode(blob)
-			if err != nil {
-				return nil, fmt.Errorf("core: gtopk round %d payload: %w", j, err)
-			}
-			// The blob is dead once decoded (tree receivers never forward
-			// it), so it can seed the next round's encode buffer.
-			sparse.PutBuffer(blob)
-			if current, err = sparse.Merge(current, peerVec, k); err != nil {
-				return nil, fmt.Errorf("core: gtopk round %d merge: %w", j, err)
-			}
+			sparse.TopKSparseInto(curBuf[ci], running, k)
+			cur, ci = curBuf[ci], ci^1
 		case r%group == stride:
-			// Sender: ship the live vector to r-stride, then go idle.
-			if err := comm.SendTag(ctx, r-stride, base+j, sparse.Encode(current)); err != nil {
-				return nil, fmt.Errorf("core: gtopk round %d send: %w", j, err)
+			// Sender: stream the live vector to r-stride in chunk frames,
+			// then go idle. Frames come from the shared pool and are
+			// recycled by the fabric or the receiving merge loop.
+			if err := sendSparseChunks(ctx, comm, cur, r-stride, base+j, chunks); err != nil {
+				return fmt.Errorf("core: gtopk round %d send: %w", j, err)
 			}
-			current = nil
+			cur = nil
 		}
 		// Every rank pays the synchronous round cost: one message of at
 		// most 2k elements (k values + k indices) is in flight per pair.
 		comm.ChargeRound(2 * k)
 	}
 
-	// Phase 2: broadcast the global top-k from rank 0 (Algorithm 3 line 19).
-	var payload []byte
+	// Phase 2: broadcast the global top-k from rank 0 (Algorithm 3 line
+	// 19), chunk-pipelined down the same binomial tree: a rank forwards
+	// chunk i to its subtree before receiving chunk i+1, so the levels of
+	// the tree work on consecutive chunks concurrently.
+	return bcastSparseChunks(ctx, comm, cur, k, chunks, out)
+}
+
+// sendSparseChunks streams v to dst as `chunks` wire frames under one
+// tag (FIFO order per (src,dst,tag) keeps them in sequence). Chunks are
+// contiguous spans of the entry list, so each is itself a valid sparse
+// encoding and their concatenation reproduces v exactly.
+func sendSparseChunks(ctx context.Context, comm *collective.Comm, v *sparse.Vector, dst, tag, chunks int) error {
+	nnz := v.NNZ()
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*nnz/chunks, (i+1)*nnz/chunks
+		buf := sparse.EncodeSlices(v.Dim, v.Indices[lo:hi], v.Values[lo:hi])
+		if err := comm.SendTagPooled(ctx, dst, tag, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bcastSparseChunks distributes rank 0's cur to every rank's out along a
+// binomial tree in chunk-pipelined frames. Simulated-time accounting
+// matches the unchunked flat-tree broadcast this replaces: every rank
+// charges ceil(log2 P) rounds, paying the full payload from the round it
+// first holds data (chunking is transparent to the α-β model — it
+// reduces wall time by overlap, not modelled volume).
+func bcastSparseChunks(ctx context.Context, comm *collective.Comm, cur *sparse.Vector, k, chunks int, out *sparse.Vector) error {
+	p := comm.Size()
+	r := comm.Rank()
+	rounds := 0
+	for 1<<rounds < p {
+		rounds++
+	}
+	base := comm.ClaimTags(rounds)
+
+	recvRound := 0 // the round in which this rank first holds data
 	if r == 0 {
-		payload = sparse.Encode(current)
+		sparse.CopyInto(out, cur)
+		for i := 0; i < chunks; i++ {
+			nnz := cur.NNZ()
+			lo, hi := i*nnz/chunks, (i+1)*nnz/chunks
+			var buf []byte
+			for j := 0; j < rounds; j++ {
+				if child := 1 << j; child < p {
+					if buf == nil {
+						buf = sparse.EncodeSlices(cur.Dim, cur.Indices[lo:hi], cur.Values[lo:hi])
+					}
+					if err := comm.SendTag(ctx, child, base+j, buf); err != nil {
+						return fmt.Errorf("core: gtopk bcast send: %w", err)
+					}
+				}
+			}
+			// All children received (or aliased, in-process) this frame;
+			// recycling is safe only where plain sends consume the
+			// payload before returning.
+			if buf != nil && comm.SendConsumedOnReturn() {
+				sparse.PutBuffer(buf)
+			}
+		}
+	} else if p > 1 {
+		recvRound = bits.Len(uint(r)) - 1 // 2^recvRound <= r < 2^(recvRound+1)
+		parent := r - 1<<recvRound
+		// out is rebuilt from the incoming chunk frames; every frame
+		// carries dim, and chunks >= 1, so out.Dim is always set below.
+		out.Indices = out.Indices[:0]
+		out.Values = out.Values[:0]
+		// A forwarded frame may be recycled only if our received copy is
+		// private AND our plain sends to the subtree consumed it before
+		// returning (both true over TCP, both false in-process).
+		canRecycle := comm.RecvIsPrivate() && comm.SendConsumedOnReturn()
+		for i := 0; i < chunks; i++ {
+			blob, err := comm.RecvTag(ctx, parent, base+recvRound)
+			if err != nil {
+				return fmt.Errorf("core: gtopk bcast recv: %w", err)
+			}
+			// Forward down the subtree before consuming: the next level
+			// starts relaying chunk i while chunk i+1 is still inbound.
+			for j := recvRound + 1; j < rounds; j++ {
+				if child := r + 1<<j; child < p {
+					if err := comm.SendTag(ctx, child, base+j, blob); err != nil {
+						return fmt.Errorf("core: gtopk bcast forward: %w", err)
+					}
+				}
+			}
+			v, err := sparse.DecodeView(blob)
+			if err != nil {
+				return fmt.Errorf("core: gtopk bcast payload: %w", err)
+			}
+			out.Dim = v.Dim
+			out.Indices = append(out.Indices, v.Indices...)
+			out.Values = append(out.Values, v.Values...)
+			if canRecycle {
+				// Private copy: our sends were consumed synchronously and
+				// the entries are copied out, so the frame is dead here.
+				sparse.PutBuffer(blob)
+			}
+		}
+		if err := out.Validate(); err != nil {
+			return fmt.Errorf("core: gtopk bcast result: %w", err)
+		}
+	} else {
+		sparse.CopyInto(out, cur)
 	}
-	blob, err := comm.Bcast(ctx, 0, payload)
-	if err != nil {
-		return nil, fmt.Errorf("core: gtopk bcast: %w", err)
+
+	// α-β accounting, mirroring the flat-tree broadcast exactly (one
+	// monolithic payload per round — chunk framing is an implementation
+	// detail the model does not see): rounds before a rank holds data
+	// cost it nothing but the synchronisation point.
+	encoded := sparse.EncodedSize(out.NNZ())
+	for j := 0; j < rounds; j++ {
+		if r == 0 || j >= recvRound {
+			comm.ChargeRound(encoded / 4)
+		} else {
+			comm.ChargeRound(0)
+		}
 	}
-	global, err := sparse.Decode(blob)
-	if err != nil {
-		return nil, fmt.Errorf("core: gtopk bcast payload: %w", err)
-	}
-	return global, nil
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"gtopkssgd/internal/collective"
 	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/sparse"
 )
 
 // This file implements the bucketed, overlapped aggregation pipeline: the
@@ -58,6 +59,7 @@ type bucketState struct {
 	lo       int
 	hi       int
 	k        int
+	out      sparse.Vector // reused per-bucket collective result
 
 	remaining int // uncovered elements in the current iteration
 	launched  bool
@@ -297,11 +299,11 @@ func (a *BucketedAggregator) runBucket(ctx context.Context, b *bucketState, grad
 		out.err = fmt.Errorf("core: bucket %d select: %w", b.idx, err)
 		return out
 	}
-	global, err := GTopKAllReduce(ctx, b.comm, local, b.k)
-	if err != nil {
+	if err := GTopKAllReduceInto(ctx, b.comm, local, b.k, ChunksFor(b.k), &b.out); err != nil {
 		out.err = fmt.Errorf("core: bucket %d: %w", b.idx, err)
 		return out
 	}
+	global := &b.out
 	b.sp.PutBack(local, global.Indices)
 
 	dst := a.dense[b.lo:b.hi]

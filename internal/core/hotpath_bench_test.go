@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/transport"
+)
+
+// Benchmarks for the aggregation collectives over the in-process fabric.
+// All report allocations: with reused result vectors (the *Into entry
+// point) the tree collective's per-rank allocations amortise to the
+// handful of phase-2 frames the in-process fabric cannot recycle.
+
+func benchRankVectors(p, dim, k int) []*sparse.Vector {
+	vecs, _ := benchVectorsAndSum(p, dim, k)
+	return vecs
+}
+
+func benchVectorsAndSum(p, dim, k int) ([]*sparse.Vector, []float32) {
+	dense, vecs := makeWorkerVectors(uint64(31+p), p, dim, k)
+	sum := make([]float32, dim)
+	for _, g := range dense {
+		for i, v := range g {
+			sum[i] += v
+		}
+	}
+	return vecs, sum
+}
+
+func BenchmarkGTopKAllReduce(b *testing.B) {
+	const dim = 100_000
+	for _, rho := range []float64{0.001, 0.01} {
+		k := DensityToK(dim, rho)
+		for _, p := range []int{2, 4, 8} {
+			vecs := benchRankVectors(p, dim, k)
+			b.Run(fmt.Sprintf("rho=%g/P=%d", rho, p), func(b *testing.B) {
+				fab, err := transport.NewInProc(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer fab.Close()
+				comms := make([]*collective.Comm, p)
+				outs := make([]sparse.Vector, p)
+				for r := range comms {
+					comms[r] = collective.New(fab.Conn(r))
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for r := range comms {
+						wg.Add(1)
+						go func(rank int) {
+							defer wg.Done()
+							if err := GTopKAllReduceInto(context.Background(), comms[rank],
+								vecs[rank], k, ChunksFor(k), &outs[rank]); err != nil {
+								b.Error(err)
+							}
+						}(r)
+					}
+					wg.Wait()
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTopKAllReduce(b *testing.B) {
+	const dim, rho = 100_000, 0.001
+	k := DensityToK(dim, rho)
+	for _, p := range []int{2, 4, 8} {
+		vecs := benchRankVectors(p, dim, k)
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			fab, err := transport.NewInProc(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fab.Close()
+			comms := make([]*collective.Comm, p)
+			for r := range comms {
+				comms[r] = collective.New(fab.Conn(r))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for r := range comms {
+					wg.Add(1)
+					go func(rank int) {
+						defer wg.Done()
+						if _, err := TopKAllReduce(context.Background(), comms[rank], vecs[rank]); err != nil {
+							b.Error(err)
+						}
+					}(r)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -4,7 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sync"
+
+	"gtopkssgd/internal/bufpool"
 )
 
 // Wire format for a sparse vector, little-endian:
@@ -21,36 +22,27 @@ const headerBytes = 8
 // with nnz stored entries.
 func EncodedSize(nnz int) int { return headerBytes + 8*nnz }
 
-// bufPool recycles wire buffers between encode and decode sites. Every
-// gTopKAllReduce round encodes one sparse message per pair, and the
-// receiving side discards the payload right after Decode; routing those
-// dead buffers back through the pool removes the per-round allocation
-// from the aggregation hot path.
+// Wire buffers are recycled through the process-wide bufpool, shared
+// with the transport layer: every gTopKAllReduce round encodes one
+// sparse message per pair, the TCP read loop deposits its frames from
+// the same pool, and the receiving side releases the payload right after
+// the merge consumes it — so one buffer cycles encode → send → receive →
+// merge → encode without per-round allocations.
 //
 // Ownership discipline: PutBuffer may only be called on a buffer no other
 // goroutine can still reference — in practice, a payload returned by a
-// transport Recv after it has been decoded. Buffers handed to a transport
-// Send belong to the fabric and must NOT be put back by the sender.
-var bufPool sync.Pool // stores *[]byte
+// transport Recv after its contents have been merged or copied out.
+// Buffers handed to a transport Send belong to the fabric and must NOT be
+// put back by the sender (collective.Comm.SendTagPooled exists for
+// exactly that hand-off: the fabric recycles the buffer once consumed).
 
 // GetBuffer returns a length-n byte slice, reusing pooled capacity when
 // available.
-func GetBuffer(n int) []byte {
-	if bp, _ := bufPool.Get().(*[]byte); bp != nil && cap(*bp) >= n {
-		return (*bp)[:n]
-	}
-	return make([]byte, n)
-}
+func GetBuffer(n int) []byte { return bufpool.Get(n) }
 
-// PutBuffer recycles a dead wire buffer (see bufPool for the ownership
-// rules). Putting nil or zero-capacity slices is a no-op.
-func PutBuffer(buf []byte) {
-	if cap(buf) == 0 {
-		return
-	}
-	buf = buf[:0]
-	bufPool.Put(&buf)
-}
+// PutBuffer recycles a dead wire buffer (see above for the ownership
+// rules). Putting nil or tiny slices is a no-op.
+func PutBuffer(buf []byte) { bufpool.Put(buf) }
 
 // Encode serialises v into the wire format above. The buffer comes from
 // the encode pool; ownership passes to the caller (and onward to the
@@ -62,17 +54,30 @@ func Encode(v *Vector) []byte {
 // EncodeTo serialises v into buf, which must have length
 // EncodedSize(v.NNZ()), and returns it.
 func EncodeTo(buf []byte, v *Vector) []byte {
-	if len(buf) != EncodedSize(v.NNZ()) {
-		panic(fmt.Sprintf("sparse: EncodeTo buffer %d bytes, need %d", len(buf), EncodedSize(v.NNZ())))
+	return encodeParts(buf, v.Dim, v.Indices, v.Values)
+}
+
+// EncodeSlices serialises one contiguous span of a sparse vector — dim
+// plus parallel index/value slices — into a pooled wire buffer. This is
+// the chunking entry point: the gTop-k tree splits a k-entry payload
+// into C spans and encodes each as its own frame so the receiver can
+// start merging before the full payload has arrived.
+func EncodeSlices(dim int, indices []int32, values []float32) []byte {
+	return encodeParts(GetBuffer(EncodedSize(len(indices))), dim, indices, values)
+}
+
+func encodeParts(buf []byte, dim int, indices []int32, values []float32) []byte {
+	if len(buf) != EncodedSize(len(indices)) {
+		panic(fmt.Sprintf("sparse: encode buffer %d bytes, need %d", len(buf), EncodedSize(len(indices))))
 	}
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(v.Dim))
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(v.NNZ()))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(dim))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(indices)))
 	off := headerBytes
-	for _, idx := range v.Indices {
+	for _, idx := range indices {
 		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(idx))
 		off += 4
 	}
-	for _, val := range v.Values {
+	for _, val := range values {
 		binary.LittleEndian.PutUint32(buf[off:off+4], math.Float32bits(val))
 		off += 4
 	}

@@ -1,0 +1,143 @@
+package sparse
+
+import (
+	"testing"
+
+	"gtopkssgd/internal/prng"
+)
+
+// Benchmarks for the aggregation hot path's primitive operations. All of
+// them report allocations: the merge-side primitives (DecodeView,
+// MergeInto via pooled scratch) must stay at zero in steady state.
+
+func benchVector(seed uint64, dim, nnz int) *Vector {
+	src := prng.New(seed)
+	g := make([]float32, dim)
+	for i := range g {
+		g[i] = float32(src.NormFloat64())
+	}
+	return TopK(g, nnz)
+}
+
+func BenchmarkTopKSparse(b *testing.B) {
+	v := benchVector(1, 100_000, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopKSparse(v, 1000)
+	}
+}
+
+func BenchmarkTopKSparseInto(b *testing.B) {
+	v := benchVector(1, 100_000, 2000)
+	dst := &Vector{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKSparseInto(dst, v, 1000)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	v := benchVector(2, 100_000, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PutBuffer(Encode(v))
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	v := benchVector(3, 100_000, 1000)
+	buf := Encode(v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeView(b *testing.B) {
+	v := benchVector(3, 100_000, 1000)
+	buf := Encode(v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeView(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	x := benchVector(4, 100_000, 1000)
+	y := benchVector(5, 100_000, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Merge(x, y, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeInto(b *testing.B) {
+	x := benchVector(4, 100_000, 1000)
+	y := benchVector(5, 100_000, 1000)
+	dst := &Vector{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MergeInto(dst, x, y, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeRoundFromWire is the full receive-side unit of one tree
+// round: encode (stands in for the inbound frame), decode-free view,
+// bounded add, top-k re-selection, frame release. Steady state must be
+// allocation-free (TestMergeLoopZeroAlloc asserts exactly that).
+func BenchmarkMergeRoundFromWire(b *testing.B) {
+	x := benchVector(6, 100_000, 1000)
+	y := benchVector(7, 100_000, 1000)
+	sum := &Vector{}
+	cur := &Vector{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := EncodeSlices(y.Dim, y.Indices, y.Values)
+		view, err := DecodeView(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := AddInto(sum, x, &view); err != nil {
+			b.Fatal(err)
+		}
+		TopKSparseInto(cur, sum, 1000)
+		PutBuffer(buf)
+	}
+}
+
+func BenchmarkAccumulator(b *testing.B) {
+	const p = 8
+	vecs := make([]*Vector, p)
+	for r := range vecs {
+		vecs[r] = benchVector(uint64(10+r), 100_000, 1000)
+	}
+	acc := GetAccumulator(100_000)
+	defer acc.Release()
+	sum := &Vector{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vecs {
+			if err := acc.Add(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		acc.CompactInto(sum)
+	}
+}

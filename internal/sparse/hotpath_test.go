@@ -1,0 +1,219 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAddIntoMatchesAdd checks the in-place merge against the allocating
+// wrapper across overlap patterns, including reused (oversized and
+// undersized) destination capacity.
+func TestAddIntoMatchesAdd(t *testing.T) {
+	dst := &Vector{}
+	for seed := uint64(1); seed < 20; seed++ {
+		a := randomSparse(seed, 200, int(seed*3%40)+1, seed%2 == 0)
+		b := randomSparse(seed+100, 200, int(seed*7%40)+1, seed%3 == 0)
+		want, err := Add(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AddInto(dst, a, b); err != nil {
+			t.Fatal(err)
+		}
+		assertSame(t, want, dst)
+	}
+	if err := AddInto(dst, &Vector{Dim: 3}, &Vector{Dim: 4}); err == nil {
+		t.Fatal("AddInto accepted mismatched dimensions")
+	}
+}
+
+// TestMergeIntoMatchesMerge checks the pooled-scratch merge against the
+// wrapper (which itself is pinned to the sort-based oracle elsewhere).
+func TestMergeIntoMatchesMerge(t *testing.T) {
+	dst := &Vector{}
+	for seed := uint64(1); seed < 16; seed++ {
+		a := randomSparse(seed, 150, 30, seed%2 == 0)
+		b := randomSparse(seed+50, 150, 30, seed%2 == 1)
+		for _, k := range []int{1, 7, 30, 60, 100} {
+			want, err := Merge(a, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := MergeInto(dst, a, b, k); err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, want, dst)
+		}
+	}
+}
+
+// TestDecodeViewRoundTrip checks the aliasing decode against the copying
+// decode, including the empty-support frame.
+func TestDecodeViewRoundTrip(t *testing.T) {
+	for _, nnz := range []int{0, 1, 17, 300} {
+		v := &Vector{Dim: 1000}
+		if nnz > 0 {
+			v = randomSparse(uint64(nnz), 1000, nnz, false)
+		}
+		buf := Encode(v)
+		view, err := DecodeView(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSame(t, v, &view)
+		PutBuffer(buf)
+	}
+}
+
+// TestDecodeViewRejectsCorruptFrames mirrors Decode's validation: the
+// view path must not trade away the transport trust boundary.
+func TestDecodeViewRejectsCorruptFrames(t *testing.T) {
+	v := randomSparse(3, 100, 10, false)
+	good := Encode(v)
+	if _, err := DecodeView(good[:5]); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := DecodeView(good[:len(good)-4]); err == nil {
+		t.Fatal("truncated buffer accepted")
+	}
+	bad := append([]byte(nil), good...)
+	// Swap the first two indices so they are out of order.
+	copy(bad[8:12], good[12:16])
+	copy(bad[12:16], good[8:12])
+	if _, err := DecodeView(bad); err == nil {
+		t.Fatal("unsorted indices accepted")
+	}
+}
+
+// TestDecodeViewAliasingSafety: a consumer that merges from a view and
+// then releases (and someone else overwrites) the frame must keep an
+// uncorrupted result — MergeInto copies the winners out of the frame.
+func TestDecodeViewAliasingSafety(t *testing.T) {
+	a := randomSparse(1, 500, 40, false)
+	b := randomSparse(2, 500, 40, false)
+	want, err := Merge(a, b, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := Encode(b)
+	view, err := DecodeView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &Vector{}
+	if err := MergeInto(got, a, &view, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Release the frame and scribble over it, as the next encode of a
+	// pool reuser would.
+	PutBuffer(buf)
+	for i := range buf[:cap(buf)] {
+		buf[:cap(buf)][i] = 0xAA
+	}
+	assertSame(t, want, got)
+}
+
+// TestMergeLoopZeroAlloc pins the acceptance criterion: one full
+// steady-state tree-merge round — encode, decode-free view, add, top-k
+// re-select, frame release — performs zero heap allocations.
+func TestMergeLoopZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops puts at random; allocation counts are not deterministic")
+	}
+	a := randomSparse(7, 4096, 256, false)
+	b := randomSparse(8, 4096, 256, false)
+	sum := &Vector{}
+	cur := &Vector{}
+	round := func() {
+		buf := EncodeSlices(b.Dim, b.Indices, b.Values)
+		view, err := DecodeView(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AddInto(sum, a, &view); err != nil {
+			t.Fatal(err)
+		}
+		TopKSparseInto(cur, sum, 256)
+		PutBuffer(buf)
+	}
+	round() // warm the pools and the reusable destinations
+	if allocs := testing.AllocsPerRun(50, round); allocs != 0 {
+		t.Fatalf("merge round allocates %v times per op, want 0", allocs)
+	}
+}
+
+// TestAccumulatorMatchesSparseAddChain: the dense scatter-add path must
+// be bit-identical to folding the same vectors with sparse Add.
+func TestAccumulatorMatchesSparseAddChain(t *testing.T) {
+	const dim = 300
+	vecs := make([]*Vector, 5)
+	for i := range vecs {
+		vecs[i] = randomSparse(uint64(40+i), dim, 25, i%2 == 0)
+	}
+	want := &Vector{Dim: dim}
+	var err error
+	for _, v := range vecs {
+		if want, err = Add(want, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := GetAccumulator(dim)
+	for _, v := range vecs {
+		if err := acc.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := &Vector{}
+	acc.CompactInto(got)
+	assertSame(t, want, got)
+
+	// The reset must leave the pooled accumulator clean for its next user.
+	if err := acc.Add(vecs[0]); err != nil {
+		t.Fatal(err)
+	}
+	second := &Vector{}
+	acc.CompactInto(second)
+	assertSame(t, vecs[0], second)
+	acc.Release()
+
+	if err := acc.Add(&Vector{Dim: dim + 1}); err == nil {
+		t.Fatal("accumulator accepted mismatched dimension")
+	}
+}
+
+// TestEncodeSlicesMatchesEncode: chunked spans concatenate back to the
+// full encoding's contents.
+func TestEncodeSlicesMatchesEncode(t *testing.T) {
+	v := randomSparse(9, 400, 37, false)
+	for _, chunks := range []int{1, 2, 3, 5, 37, 50} {
+		var got Vector
+		got.Dim = v.Dim
+		for i := 0; i < chunks; i++ {
+			lo, hi := i*v.NNZ()/chunks, (i+1)*v.NNZ()/chunks
+			buf := EncodeSlices(v.Dim, v.Indices[lo:hi], v.Values[lo:hi])
+			view, err := DecodeView(buf)
+			if err != nil {
+				t.Fatalf("chunks=%d chunk %d: %v", chunks, i, err)
+			}
+			got.Indices = append(got.Indices, view.Indices...)
+			got.Values = append(got.Values, view.Values...)
+			PutBuffer(buf)
+		}
+		assertSame(t, v, &got)
+	}
+}
+
+func assertSame(t *testing.T, want, got *Vector) {
+	t.Helper()
+	if want.Dim != got.Dim || want.NNZ() != got.NNZ() {
+		t.Fatalf("shape mismatch: dim %d/%d nnz %d/%d", want.Dim, got.Dim, want.NNZ(), got.NNZ())
+	}
+	for i := range want.Indices {
+		if want.Indices[i] != got.Indices[i] ||
+			math.Float32bits(want.Values[i]) != math.Float32bits(got.Values[i]) {
+			t.Fatalf("entry %d: (%d,%v) vs (%d,%v)", i,
+				want.Indices[i], want.Values[i], got.Indices[i], got.Values[i])
+		}
+	}
+}

@@ -11,7 +11,6 @@ package sparse
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 )
 
@@ -98,49 +97,26 @@ func FromDense(x []float32) *Vector {
 // Add returns the sparse sum a+b. The result's support is the union of the
 // operand supports; exact zero sums are kept (their index was touched, and
 // gTop-k treats "sent" and "zero" differently only via magnitude, so a
-// zero sum simply never survives a subsequent TopK).
+// zero sum simply never survives a subsequent TopK). Hot paths use
+// AddInto, which this wraps.
 func Add(a, b *Vector) (*Vector, error) {
-	if a.Dim != b.Dim {
-		return nil, fmt.Errorf("%w: %d vs %d", ErrDimension, a.Dim, b.Dim)
+	out := &Vector{}
+	if err := AddInto(out, a, b); err != nil {
+		return nil, err
 	}
-	out := &Vector{
-		Dim:     a.Dim,
-		Indices: make([]int32, 0, len(a.Indices)+len(b.Indices)),
-		Values:  make([]float32, 0, len(a.Indices)+len(b.Indices)),
-	}
-	i, j := 0, 0
-	for i < len(a.Indices) && j < len(b.Indices) {
-		switch {
-		case a.Indices[i] < b.Indices[j]:
-			out.Indices = append(out.Indices, a.Indices[i])
-			out.Values = append(out.Values, a.Values[i])
-			i++
-		case a.Indices[i] > b.Indices[j]:
-			out.Indices = append(out.Indices, b.Indices[j])
-			out.Values = append(out.Values, b.Values[j])
-			j++
-		default:
-			out.Indices = append(out.Indices, a.Indices[i])
-			out.Values = append(out.Values, a.Values[i]+b.Values[j])
-			i, j = i+1, j+1
-		}
-	}
-	out.Indices = append(out.Indices, a.Indices[i:]...)
-	out.Values = append(out.Values, a.Values[i:]...)
-	out.Indices = append(out.Indices, b.Indices[j:]...)
-	out.Values = append(out.Values, b.Values[j:]...)
 	return out, nil
 }
 
 // Merge implements the paper's Definition 1: the Top-k operator ⊕ over
 // two sparse vectors. It returns TopK(a+b, k): the k largest-magnitude
 // entries of the element-wise sum (fewer if the union support is smaller).
+// Hot paths use MergeInto, which this wraps.
 func Merge(a, b *Vector, k int) (*Vector, error) {
-	sum, err := Add(a, b)
-	if err != nil {
+	out := &Vector{}
+	if err := MergeInto(out, a, b, k); err != nil {
 		return nil, err
 	}
-	return TopKSparse(sum, k), nil
+	return out, nil
 }
 
 // TopK selects the k largest-magnitude entries of the dense vector x.
@@ -188,49 +164,25 @@ func TopK(x []float32, k int) *Vector {
 	return out
 }
 
-// TopKSparse selects the k largest-magnitude stored entries of v.
+// TopKSparse selects the k largest-magnitude stored entries of v. Hot
+// paths use TopKSparseInto, which this wraps.
 func TopKSparse(v *Vector, k int) *Vector {
-	if k <= 0 {
-		return &Vector{Dim: v.Dim}
-	}
-	if k >= v.NNZ() {
-		return v.Clone()
-	}
-	scratch, pos := selectTopPositions(v.NNZ(), k,
-		func(i int) float32 { return abs32(v.Values[i]) },
-		func(i int) int32 { return v.Indices[i] })
-	out := &Vector{Dim: v.Dim, Indices: make([]int32, len(pos)), Values: make([]float32, len(pos))}
-	for i, p := range pos {
-		out.Indices[i] = v.Indices[p]
-		out.Values[i] = v.Values[p]
-	}
-	posScratch.Put(scratch)
+	out := &Vector{}
+	TopKSparseInto(out, v, k)
 	return out
 }
 
-// Scratch pools for the selection hot path. Every training iteration of
+// Scratch pool for the selection hot path. Every training iteration of
 // every worker runs at least one top-k selection over the full residual,
-// so the magnitude and position scratch vectors are recycled instead of
-// reallocated per call. The pools are safe for the concurrent per-bucket
-// selections of the bucketed aggregation pipeline.
-var (
-	magScratch = sync.Pool{New: func() any { return new([]float32) }}
-	posScratch = sync.Pool{New: func() any { return new([]int) }}
-)
+// so the magnitude scratch vectors are recycled instead of reallocated
+// per call. The pool is safe for the concurrent per-bucket selections of
+// the bucketed aggregation pipeline.
+var magScratch = sync.Pool{New: func() any { return new([]float32) }}
 
 func getMagScratch(n int) *[]float32 {
 	sp := magScratch.Get().(*[]float32)
 	if cap(*sp) < n {
 		*sp = make([]float32, n)
-	}
-	*sp = (*sp)[:n]
-	return sp
-}
-
-func getPosScratch(n int) *[]int {
-	sp := posScratch.Get().(*[]int)
-	if cap(*sp) < n {
-		*sp = make([]int, n)
 	}
 	*sp = (*sp)[:n]
 	return sp
@@ -250,7 +202,14 @@ func Threshold(x []float32, k int) float32 {
 	for i, v := range x {
 		mags[i] = abs32(v)
 	}
-	// Quickselect for the k-th largest magnitude.
+	return selectKthLargest(mags, k)
+}
+
+// selectKthLargest returns the k-th largest element of mags, reordering
+// mags freely (callers pass pooled scratch). Expected O(n) quickselect
+// over plain float32s — the hottest loop in the aggregation path, so it
+// swaps values directly instead of going through position indirection.
+func selectKthLargest(mags []float32, k int) float32 {
 	lo, hi, want := 0, len(mags)-1, k-1
 	state := uint64(0x9e3779b97f4a7c15)
 	for lo < hi {
@@ -278,62 +237,6 @@ func Threshold(x []float32, k int) float32 {
 		}
 	}
 	return mags[lo]
-}
-
-// selectTopPositions returns positions into the caller's parallel slices,
-// ordered so that the referenced dense indices ascend. Ties at equal
-// magnitude break toward the lower dense index for cross-worker
-// determinism. Selection is expected O(n) quickselect (the sort is only
-// over the k winners); the position scratch comes from a pool. The caller
-// must copy the winners out before the enclosing function returns the
-// scratch (TopKSparse does), so the slice is returned alongside the pool
-// box.
-func selectTopPositions(n, k int, mag func(int) float32, denseIdx func(int) int32) (*[]int, []int) {
-	sp := getPosScratch(n)
-	pos := *sp
-	for i := range pos {
-		pos[i] = i
-	}
-	// ranksBefore reports whether position a outranks position b in the
-	// selection order (larger magnitude first, lower dense index on ties).
-	ranksBefore := func(a, b int) bool {
-		ma, mb := mag(a), mag(b)
-		if ma != mb {
-			return ma > mb
-		}
-		return denseIdx(a) < denseIdx(b)
-	}
-	// Quickselect: partially order pos so its first k entries are the k
-	// highest-ranked positions (internal order unspecified).
-	lo, hi, want := 0, n-1, k-1
-	state := uint64(0x9e3779b97f4a7c15)
-	for lo < hi {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		p := lo + int(state%uint64(hi-lo+1))
-		pivot := pos[p]
-		pos[p], pos[hi] = pos[hi], pos[p]
-		store := lo
-		for i := lo; i < hi; i++ {
-			if ranksBefore(pos[i], pivot) {
-				pos[i], pos[store] = pos[store], pos[i]
-				store++
-			}
-		}
-		pos[store], pos[hi] = pos[hi], pos[store]
-		switch {
-		case store == want:
-			lo = hi // done
-		case store < want:
-			lo = store + 1
-		default:
-			hi = store - 1
-		}
-	}
-	winners := pos[:k]
-	sort.Slice(winners, func(a, b int) bool { return denseIdx(winners[a]) < denseIdx(winners[b]) })
-	return sp, winners
 }
 
 func abs32(v float32) float32 {

@@ -411,15 +411,3 @@ func BenchmarkTopK1M(b *testing.B) {
 	}
 }
 
-func BenchmarkMerge(b *testing.B) {
-	src := prng.New(2)
-	k := 1024
-	a := randSparse(src, 1<<20, k)
-	c := randSparse(src, 1<<20, k)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Merge(a, c, k); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

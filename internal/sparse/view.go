@@ -1,0 +1,58 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether this machine stores multi-byte values
+// little-endian — i.e. whether the wire format's int32/float32 payload
+// bytes can be reinterpreted in place instead of decoded element-wise.
+var hostLittleEndian = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// DecodeView parses the wire format produced by Encode without
+// materialising a Vector: on little-endian hosts (every supported
+// platform in practice) with a 4-byte-aligned frame, the returned
+// Vector's Indices and Values slices alias buf directly — zero copies,
+// zero allocations. The same structural validation as Decode is applied,
+// so transport payloads remain untrusted at this layer.
+//
+// Ownership: the view is a window into buf. It is valid only until the
+// frame is released (PutBuffer) or mutated; consumers must copy the
+// entries they keep — MergeInto, AddInto, Accumulator.Add and
+// TopKSparseInto all do — before releasing the frame. On exotic
+// (big-endian or misaligned) inputs DecodeView falls back to a copying
+// decode, which is always safe to release immediately.
+func DecodeView(buf []byte) (Vector, error) {
+	if len(buf) < headerBytes {
+		return Vector{}, fmt.Errorf("sparse: decode view: short buffer (%d bytes)", len(buf))
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[0:4]))
+	nnz := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if want := EncodedSize(nnz); len(buf) != want {
+		return Vector{}, fmt.Errorf("sparse: decode view: %d bytes for nnz=%d, want %d", len(buf), nnz, want)
+	}
+	if nnz == 0 {
+		return Vector{Dim: dim}, nil
+	}
+	if !hostLittleEndian || uintptr(unsafe.Pointer(&buf[0]))%4 != 0 {
+		v, err := Decode(buf)
+		if err != nil {
+			return Vector{}, err
+		}
+		return *v, nil
+	}
+	v := Vector{
+		Dim:     dim,
+		Indices: unsafe.Slice((*int32)(unsafe.Pointer(&buf[headerBytes])), nnz),
+		Values:  unsafe.Slice((*float32)(unsafe.Pointer(&buf[headerBytes+4*nnz])), nnz),
+	}
+	if err := v.Validate(); err != nil {
+		return Vector{}, fmt.Errorf("sparse: decode view: %w", err)
+	}
+	return v, nil
+}

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"context"
+	"testing"
+
+	"gtopkssgd/internal/bufpool"
+)
+
+// TestPrivateRecvCapability pins the ownership contract the aggregation
+// hot path relies on: TCP payloads are private per-receiver copies,
+// in-process payloads are the sender's slice and must not be recycled
+// after forwarding.
+func TestPrivateRecvCapability(t *testing.T) {
+	tcp, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	if !PrivateRecv(tcp.Conn(0)) {
+		t.Fatal("TCP conn should report private receives")
+	}
+	if !SendConsumedOnReturn(tcp.Conn(0)) {
+		t.Fatal("TCP conn should report synchronous sends (payload copied before Send returns)")
+	}
+	inproc, err := NewInProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inproc.Close()
+	if PrivateRecv(inproc.Conn(0)) {
+		t.Fatal("in-process conn must NOT report private receives (payloads alias the sender's buffer)")
+	}
+	if SendConsumedOnReturn(inproc.Conn(0)) {
+		t.Fatal("in-process conn must NOT report synchronous sends (the receiver gets the same slice)")
+	}
+}
+
+// TestSendPooledRoundTrip sends pooled payloads over both fabrics and
+// checks the receiver sees the correct bytes. On TCP the buffer is
+// recycled inside Send; on inproc ownership passes to the receiver.
+func TestSendPooledRoundTrip(t *testing.T) {
+	for _, fabName := range []string{"inproc", "tcp"} {
+		var fab Fabric
+		var err error
+		if fabName == "tcp" {
+			fab, err = NewTCP(2)
+		} else {
+			fab, err = NewInProc(2)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for i := 0; i < 5; i++ {
+			payload := bufpool.Get(128)
+			for j := range payload {
+				payload[j] = byte(i + j)
+			}
+			if err := SendPooled(ctx, fab.Conn(0), 1, 7, payload); err != nil {
+				t.Fatalf("%s: send %d: %v", fabName, i, err)
+			}
+			got, err := fab.Conn(1).Recv(ctx, 0, 7)
+			if err != nil {
+				t.Fatalf("%s: recv %d: %v", fabName, i, err)
+			}
+			if len(got) != 128 {
+				t.Fatalf("%s: recv %d: got %d bytes", fabName, i, len(got))
+			}
+			for j := range got {
+				if got[j] != byte(i+j) {
+					t.Fatalf("%s: recv %d: corrupt byte %d", fabName, i, j)
+				}
+			}
+			bufpool.Put(got) // receiver owns (and may recycle) its payload
+		}
+		fab.Close()
+	}
+}
+
+// TestTCPOptionsNagle exercises the DisableNoDelay path end to end (the
+// socket option must not break framing).
+func TestTCPOptionsNagle(t *testing.T) {
+	fab, err := NewTCPWithOptions(2, TCPOptions{DisableNoDelay: true, WriteBufBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	ctx := context.Background()
+	if err := fab.Conn(0).Send(ctx, 1, 3, []byte("nagle on")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fab.Conn(1).Recv(ctx, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "nagle on" {
+		t.Fatalf("got %q", got)
+	}
+}

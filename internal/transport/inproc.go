@@ -40,31 +40,45 @@ func (mb *mailbox) deposit(key mailKey, payload []byte) error {
 }
 
 func (mb *mailbox) collect(ctx context.Context, key mailKey) ([]byte, error) {
-	// Wake waiters if the context is cancelled while they block on the
-	// condition variable. The watcher goroutine exits as soon as collect
+	// Fast path: the message already arrived (pipelined receives hit this
+	// constantly) — pop it without spawning the cancellation watcher.
+	mb.mu.Lock()
+	if payload, ok := mb.pop(key); ok {
+		mb.mu.Unlock()
+		return payload, nil
+	}
+	if mb.closed {
+		mb.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		mb.mu.Unlock()
+		return nil, err
+	}
+	mb.mu.Unlock()
+
+	// Slow path: block on the condition variable. The watcher goroutine
+	// wakes waiters if the context is cancelled while they block; it is
+	// only started for cancellable contexts and exits as soon as collect
 	// returns.
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			mb.mu.Lock()
-			mb.cond.Broadcast()
-			mb.mu.Unlock()
-		case <-stop:
-		}
-	}()
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				mb.mu.Lock()
+				mb.cond.Broadcast()
+				mb.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
-		if q := mb.queues[key]; len(q) > 0 {
-			payload := q[0]
-			if len(q) == 1 {
-				delete(mb.queues, key)
-			} else {
-				mb.queues[key] = q[1:]
-			}
+		if payload, ok := mb.pop(key); ok {
 			return payload, nil
 		}
 		if mb.closed {
@@ -75,6 +89,21 @@ func (mb *mailbox) collect(ctx context.Context, key mailKey) ([]byte, error) {
 		}
 		mb.cond.Wait()
 	}
+}
+
+// pop dequeues the oldest message for key; callers hold mb.mu.
+func (mb *mailbox) pop(key mailKey) ([]byte, bool) {
+	q := mb.queues[key]
+	if len(q) == 0 {
+		return nil, false
+	}
+	payload := q[0]
+	if len(q) == 1 {
+		delete(mb.queues, key)
+	} else {
+		mb.queues[key] = q[1:]
+	}
+	return payload, true
 }
 
 func (mb *mailbox) close() {

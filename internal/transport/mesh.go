@@ -32,6 +32,9 @@ type MeshConfig struct {
 	// JoinMesh listens on Addrs[Rank] itself and closes the listener
 	// once the mesh is wired.
 	Listener net.Listener
+	// TCP tunes the mesh's data-plane sockets; the zero value enables
+	// TCP_NODELAY, which the small synchronous collective frames want.
+	TCP TCPOptions
 }
 
 // helloSize is the wire size of the mesh handshake: uint32 rank,
@@ -68,6 +71,7 @@ func JoinMesh(ctx context.Context, cfg MeshConfig) (Conn, error) {
 	c := &tcpConn{
 		rank:  cfg.Rank,
 		size:  n,
+		opts:  cfg.TCP,
 		peers: make([]*peerLink, n),
 		box:   newMailbox(),
 	}

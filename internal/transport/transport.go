@@ -52,6 +52,66 @@ type Fabric interface {
 	Close() error
 }
 
+// PooledSender is an optional Conn capability for zero-allocation send
+// paths. SendPooled behaves like Send for a payload drawn from
+// internal/bufpool, with one extra promise: the fabric returns the
+// buffer to the pool as soon as it has been fully consumed (for TCP,
+// once the bytes are in the link's write buffer). Fabrics that hand the
+// payload straight to the receiver (in-process mailboxes) do not
+// implement it; there, recycling is the receiver's job per the bufpool
+// ownership convention.
+type PooledSender interface {
+	// SendPooled sends payload and recycles it once consumed. The caller
+	// must not touch the payload after the call, even on error.
+	SendPooled(ctx context.Context, dst, tag int, payload []byte) error
+}
+
+// SendPooled sends a bufpool-owned payload through c, recycling it at
+// the earliest safe point: inside the fabric when c implements
+// PooledSender, otherwise at the receiver (plain Send ownership
+// transfer). Either way the caller relinquishes the buffer.
+func SendPooled(ctx context.Context, c Conn, dst, tag int, payload []byte) error {
+	if ps, ok := c.(PooledSender); ok {
+		return ps.SendPooled(ctx, dst, tag, payload)
+	}
+	return c.Send(ctx, dst, tag, payload)
+}
+
+// syncSender is an optional Conn capability: fabrics whose plain Send
+// fully consumes the payload before returning (TCP copies it into the
+// link's write buffer and flushes) report true. Only such fabrics allow
+// a sender to recycle a buffer it passed to Send; on fabrics without
+// the capability the payload may still be referenced after Send returns
+// (in-process mailboxes hand the receiver the same slice).
+type syncSender interface {
+	SendIsSynchronous() bool
+}
+
+// SendConsumedOnReturn reports whether c's plain Send has fully consumed
+// the payload by the time it returns, making sender-side recycling safe.
+func SendConsumedOnReturn(c Conn) bool {
+	ss, ok := c.(syncSender)
+	return ok && ss.SendIsSynchronous()
+}
+
+// privateReceiver is an optional Conn capability: fabrics whose Recv
+// payloads are private per-receiver copies (each TCP endpoint reads its
+// own frame off its own socket) report true, which lets receivers
+// recycle even payloads whose contents they forwarded to other ranks.
+// In-process fabrics deposit the sender's slice into every destination
+// mailbox, so a forwarded payload may be aliased by several ranks and
+// must never be recycled.
+type privateReceiver interface {
+	RecvIsPrivate() bool
+}
+
+// PrivateRecv reports whether payloads returned by c.Recv are private
+// copies owned exclusively by the receiving rank.
+func PrivateRecv(c Conn) bool {
+	pr, ok := c.(privateReceiver)
+	return ok && pr.RecvIsPrivate()
+}
+
 // Errors shared by fabric implementations.
 var (
 	// ErrClosed is returned by operations on a closed endpoint.

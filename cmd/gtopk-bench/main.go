@@ -6,8 +6,11 @@
 //	gtopk-bench -exp fig9             # regenerate one artifact
 //	gtopk-bench -all                  # regenerate everything
 //	gtopk-bench -exp fig5 -quick      # smoke-test profile
+//	gtopk-bench -exp wire-codec       # codec + sharded-selection bench
 //
 // Output is text tables: one row per x-axis point of the original plot.
+// Unknown -exp names (and invalid flag values) print the valid choices
+// and exit with status 2, mirroring gtopk-worker's strict validation.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 
 	"gtopkssgd/internal/bench"
+	"gtopkssgd/internal/sparse"
 )
 
 func main() {
@@ -26,23 +30,42 @@ func main() {
 		all     = flag.Bool("all", false, "run every experiment")
 		quick   = flag.Bool("quick", false, "shrink training experiments to smoke-test size")
 		seed    = flag.Uint64("seed", 42, "random seed for all experiments")
-		jsonOut = flag.String("json", "", "hotpath experiment: output path for the machine-readable report (default BENCH_gtopk.json)")
+		jsonOut = flag.String("json", "", "hotpath/wire-codec experiments: output path for the machine-readable report (default BENCH_gtopk.json)")
 		noDelay = flag.Bool("tcp-nodelay", true, "enable TCP_NODELAY on the harness's loopback sockets (false re-enables Nagle)")
+		wire    = flag.String("wire", "v1", "sparse wire codec for the hotpath harness fabrics: v1, v2 or v2-fp16 (wire-codec sweeps all three regardless)")
+		shards  = flag.Int("select-shards", 0, "wire-codec experiment: override the sharded-selection sweep with {1, N} (0 keeps the default {1,2,4})")
 	)
 	flag.Parse()
-	opt := bench.Options{Quick: *quick, Seed: *seed, JSONPath: *jsonOut, TCPNagle: !*noDelay}
+
+	codec, err := sparse.ParseCodec(*wire)
+	if err != nil {
+		usageError(fmt.Errorf("-wire: %w", err))
+	}
+	if *shards < 0 {
+		usageError(fmt.Errorf("-select-shards %d out of range: need >= 0", *shards))
+	}
+	opt := bench.Options{
+		Quick: *quick, Seed: *seed, JSONPath: *jsonOut, TCPNagle: !*noDelay,
+		Wire: codec, SelectShards: *shards,
+	}
 	if err := run(*expID, *list, *all, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "gtopk-bench:", err)
 		os.Exit(1)
 	}
 }
 
+// usageError reports a bad flag value with the usage text and exits 2
+// (the conventional "bad invocation" status flag.ExitOnError also uses).
+func usageError(err error) {
+	fmt.Fprintf(os.Stderr, "gtopk-bench: %v\n\n", err)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func run(expID string, list, all bool, opt bench.Options) error {
 	switch {
 	case list:
-		for _, e := range bench.Experiments() {
-			fmt.Printf("%-20s %s\n", e.ID, e.Description)
-		}
+		printExperiments(os.Stdout)
 		return nil
 	case all:
 		for _, e := range bench.Experiments() {
@@ -57,7 +80,12 @@ func run(expID string, list, all bool, opt bench.Options) error {
 	case expID != "":
 		e, err := bench.Lookup(expID)
 		if err != nil {
-			return err
+			// An unknown experiment is an invocation error, not a runtime
+			// failure: list the valid names and exit 2 so scripts can tell
+			// a typo from a broken benchmark.
+			fmt.Fprintf(os.Stderr, "gtopk-bench: %v\n\nvalid experiments:\n", err)
+			printExperiments(os.Stderr)
+			os.Exit(2)
 		}
 		out, err := e.Run(context.Background(), opt)
 		if err != nil {
@@ -68,5 +96,12 @@ func run(expID string, list, all bool, opt bench.Options) error {
 	default:
 		flag.Usage()
 		return fmt.Errorf("one of -exp, -list or -all is required")
+	}
+}
+
+// printExperiments writes the experiment catalogue, one per line.
+func printExperiments(w *os.File) {
+	for _, e := range bench.Experiments() {
+		fmt.Fprintf(w, "%-22s %s\n", e.ID, e.Description)
 	}
 }

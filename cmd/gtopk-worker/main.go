@@ -42,7 +42,9 @@ import (
 	"gtopkssgd/internal/collective"
 	"gtopkssgd/internal/core"
 	"gtopkssgd/internal/data"
+	"gtopkssgd/internal/metrics"
 	"gtopkssgd/internal/nn/models"
+	"gtopkssgd/internal/sparse"
 	"gtopkssgd/internal/trace"
 	"gtopkssgd/internal/transport"
 )
@@ -62,19 +64,29 @@ type options struct {
 	ckptPath string
 	traceCSV string
 	// shared training parameters
-	algo       string
-	steps      int
-	batch      int
-	density    float64
-	lr         float64
-	seed       uint64
-	timeout    time.Duration
-	tcpNoDelay bool
+	algo         string
+	steps        int
+	batch        int
+	density      float64
+	lr           float64
+	seed         uint64
+	timeout      time.Duration
+	tcpNoDelay   bool
+	wire         string
+	selectShards int
+
+	// wireCodec is the parsed -wire flag.
+	wireCodec sparse.Codec
 }
 
-// tcpOptions maps the -tcp-nodelay flag onto the transport options.
+// tcpOptions maps the -tcp-nodelay and -wire flags onto the transport
+// options; the mesh handshake offers the codec's wire version and
+// settles on the minimum any member offers.
 func (o *options) tcpOptions() transport.TCPOptions {
-	return transport.TCPOptions{DisableNoDelay: !o.tcpNoDelay}
+	return transport.TCPOptions{
+		DisableNoDelay: !o.tcpNoDelay,
+		WireVersion:    o.wireCodec.WireVersion(),
+	}
 }
 
 func main() {
@@ -96,6 +108,8 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 42, "shared model/data seed")
 	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "static: mesh setup + training deadline; elastic: per-epoch mesh rebuild bound")
 	flag.BoolVar(&o.tcpNoDelay, "tcp-nodelay", true, "enable TCP_NODELAY on mesh sockets (false re-enables Nagle's algorithm)")
+	flag.StringVar(&o.wire, "wire", "v2", "sparse wire codec: v1 (flat), v2 (delta/varint, lossless) or v2-fp16 (half-precision values); meshes settle on the lowest version any worker offers")
+	flag.IntVar(&o.selectShards, "select-shards", 0, "parallel shards for the local top-k selection (0 = one per core, 1 = serial; results are bit-identical)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -137,6 +151,14 @@ func (o *options) validate() error {
 	}
 	if o.timeout <= 0 {
 		return fmt.Errorf("-timeout %v out of range: need > 0", o.timeout)
+	}
+	codec, err := sparse.ParseCodec(o.wire)
+	if err != nil {
+		return fmt.Errorf("-wire: %w", err)
+	}
+	o.wireCodec = codec
+	if o.selectShards < 0 {
+		return fmt.Errorf("-select-shards %d out of range: need >= 0", o.selectShards)
 	}
 
 	if o.coordinator != "" {
@@ -185,8 +207,11 @@ func (o *options) validate() error {
 }
 
 // buildAggregator assembles the configured aggregation algorithm over a
-// communicator; sp is non-nil for the sparsifying algorithms.
+// communicator, applying the -wire value-precision preference and the
+// -select-shards selection parallelism; sp is non-nil for the
+// sparsifying algorithms.
 func buildAggregator(o *options, comm *collective.Comm, dim int) (agg core.Aggregator, sp *core.Sparsifier, err error) {
+	comm.SetFP16Values(o.wireCodec == sparse.CodecV2F16)
 	k := core.DensityToK(dim, o.density)
 	switch o.algo {
 	case "dense":
@@ -196,13 +221,17 @@ func buildAggregator(o *options, comm *collective.Comm, dim int) (agg core.Aggre
 		if err != nil {
 			return nil, nil, err
 		}
-		return a, a.Sparsifier(), nil
+		sp = a.Sparsifier()
+		sp.SetShards(o.selectShards)
+		return a, sp, nil
 	case "gtopk":
 		a, err := core.NewGTopKAggregator(comm, dim, k)
 		if err != nil {
 			return nil, nil, err
 		}
-		return a, a.Sparsifier(), nil
+		sp = a.Sparsifier()
+		sp.SetShards(o.selectShards)
+		return a, sp, nil
 	}
 	return nil, nil, fmt.Errorf("unknown algorithm %q", o.algo)
 }
@@ -214,6 +243,10 @@ func runElastic(o *options) error {
 	if err != nil {
 		return err
 	}
+	// One tally across epochs: per-worker compression totals survive
+	// membership changes the way the communication Stats do.
+	tally := &metrics.WireTally{}
+	var negotiated string
 	res, err := cluster.Run(context.Background(), cluster.RuntimeConfig{
 		Name:            o.name,
 		Coordinator:     o.coordinator,
@@ -229,16 +262,19 @@ func runElastic(o *options) error {
 		OnStep: func(info cluster.StepInfo) error {
 			if info.Rank == 0 && (info.Iter%10 == 0 || info.Iter == o.steps) {
 				fmt.Printf("epoch %d  iter %4d  loss %.4f  (world %d)\n", info.Epoch, info.Iter, info.Loss, info.World)
+				fmt.Printf("wire: codec=%s %s\n", negotiated, tally.Snapshot())
 			}
 			return nil
 		},
 		Build: func(rank, world int, comm *collective.Comm) (*cluster.Session, error) {
+			comm.SetWireTally(tally)
 			cls := models.MLP(ds.Dim(), 64, 10)
 			cls.Net.Init(o.seed)
 			agg, sp, err := buildAggregator(o, comm, cls.Net.ParamCount())
 			if err != nil {
 				return nil, err
 			}
+			negotiated = comm.WireCodec().String()
 			tr, err := core.NewTrainer(core.TrainConfig{LR: float32(o.lr), Momentum: 0.9},
 				agg, cls.Net.Parameters(), models.GradFn(cls, ds, rank, world, o.batch))
 			if err != nil {
@@ -272,6 +308,8 @@ func runStatic(o *options) error {
 	defer conn.Close() //nolint:errcheck // process exit follows
 
 	comm := collective.New(conn)
+	tally := &metrics.WireTally{}
+	comm.SetWireTally(tally)
 	ds, err := data.NewImages(o.seed+1, 10, 3, 8, 8, 0.4)
 	if err != nil {
 		return err
@@ -324,6 +362,7 @@ func runStatic(o *options) error {
 		lastLoss = loss
 		if o.rank == 0 && (s%10 == 0 || s == o.steps-1) {
 			fmt.Printf("iter %4d  loss %.4f\n", trainer.Iter(), loss)
+			fmt.Printf("wire: codec=%s %s\n", comm.WireCodec(), tally.Snapshot())
 		}
 	}
 

@@ -36,6 +36,7 @@ import (
 	"gtopkssgd/internal/cluster"
 	"gtopkssgd/internal/collective"
 	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/metrics"
 	"gtopkssgd/internal/netsim"
 	"gtopkssgd/internal/quant"
 	"gtopkssgd/internal/sparse"
@@ -151,6 +152,45 @@ func MergeInto(dst, a, b *Vector, k int) error { return sparse.MergeInto(dst, a,
 // vector aliases the frame until it is released. See sparse.DecodeView
 // for the ownership rules.
 func DecodeView(buf []byte) (Vector, error) { return sparse.DecodeView(buf) }
+
+// Codec selects the sparse wire encoding: CodecV1 (legacy flat frames),
+// CodecV2 (sorted-index delta/varint, lossless) or CodecV2F16 (delta/
+// varint indices with half-precision values). Meshes negotiate the wire
+// version in their handshake and settle on the minimum any member
+// offers; Comm.WireCodec reports the effective codec.
+type Codec = sparse.Codec
+
+// The wire codecs (see Codec).
+const (
+	// CodecV1 is the flat 8-bytes-per-entry legacy wire format.
+	CodecV1 = sparse.CodecV1
+	// CodecV2 is the delta/varint wire format with lossless fp32 values.
+	CodecV2 = sparse.CodecV2
+	// CodecV2F16 is the delta/varint wire format with binary16 values.
+	CodecV2F16 = sparse.CodecV2F16
+)
+
+// ParseCodec parses the -wire flag spellings: v1, v2, v2-fp16.
+func ParseCodec(s string) (Codec, error) { return sparse.ParseCodec(s) }
+
+// ShardSelector is the parallel sharded top-k selection engine: the
+// dense gradient splits into per-core shards, each runs the threshold
+// quickselect concurrently, and the shard winners merge into the exact
+// global top-k — bit-identical to serial selection for every shard
+// count. Sparsifier.SetShards wires it into the training loop.
+type ShardSelector = sparse.ShardSelector
+
+// NewShardSelector creates a selection engine with the given shard count
+// (shards < 1 selects one shard per schedulable core).
+func NewShardSelector(shards int) *ShardSelector { return sparse.NewShardSelector(shards) }
+
+// WireTally accumulates raw-vs-encoded wire-byte counters for the sparse
+// frames a communicator sends (attach with Comm.SetWireTally), making
+// codec compression observable in real runs.
+type WireTally = metrics.WireTally
+
+// WireCounters is one consistent reading of a WireTally.
+type WireCounters = metrics.WireCounters
 
 // DensityToK converts a density ρ into the selection count k = ρ·m,
 // clamped to [1, dim].

@@ -78,6 +78,23 @@ type hotPathReport struct {
 		Results []HotPathResult `json:"results"`
 	} `json:"current"`
 	Speedups []HotPathSpeedup `json:"speedups"`
+	// WireCodec is the v2-codec + sharded-selection section maintained by
+	// the wire-codec experiment; the hotpath experiment preserves it.
+	WireCodec *WireCodecSection `json:"wire_codec,omitempty"`
+}
+
+// loadHotPathReport parses an existing BENCH_gtopk.json so one
+// experiment can refresh its section without clobbering the other's.
+func loadHotPathReport(path string) (*hotPathReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	report := &hotPathReport{}
+	if err := json.Unmarshal(data, report); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return report, nil
 }
 
 // baselineHotPath records the pre-optimization hot path measured at
@@ -120,11 +137,17 @@ func hotPathVectors(seed uint64, p, dim, k int) []*sparse.Vector {
 }
 
 // measureCollective benchmarks one GTopKAllReduce round (all ranks) on
-// the named fabric and returns the result plus per-rank wire volume.
-func measureCollective(fabric string, p int, rho float64, seed uint64, tcpOpts transport.TCPOptions) (HotPathResult, error) {
+// the named fabric under the given wire codec and returns the result
+// plus per-rank wire volume. CodecV1 keeps the baseline-comparable
+// configuration names.
+func measureCollective(fabric string, p int, rho float64, seed uint64, tcpOpts transport.TCPOptions, codec sparse.Codec) (HotPathResult, error) {
 	k := core.DensityToK(hotPathDim, rho)
 	vecs := hotPathVectors(seed, p, hotPathDim, k)
 	name := fmt.Sprintf("gtopk/%s/rho=%g/P=%d", fabric, rho, p)
+	if codec != sparse.CodecV1 {
+		name += "/wire=" + codec.String()
+	}
+	tcpOpts.WireVersion = codec.WireVersion()
 
 	var wireBytes int64
 	var errMu sync.Mutex
@@ -142,7 +165,7 @@ func measureCollective(fabric string, p int, rho float64, seed uint64, tcpOpts t
 		if fabric == "tcp" {
 			fab, err = transport.NewTCPWithOptions(p, tcpOpts)
 		} else {
-			fab, err = transport.NewInProc(p)
+			fab, err = transport.NewInProcWire(p, codec.WireVersion())
 		}
 		if err != nil {
 			fail(err)
@@ -154,6 +177,7 @@ func measureCollective(fabric string, p int, rho float64, seed uint64, tcpOpts t
 		outs := make([]sparse.Vector, p)
 		for r := range comms {
 			comms[r] = collective.New(fab.Conn(r))
+			comms[r].SetFP16Values(codec == sparse.CodecV2F16)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -330,7 +354,8 @@ func HotPath(_ context.Context, opt Options) (string, *hotPathReport, error) {
 	for _, fabric := range []string{"inproc", "tcp"} {
 		for _, rho := range densities {
 			for _, p := range workers {
-				r, err := measureCollective(fabric, p, rho, opt.seed(), transport.TCPOptions{DisableNoDelay: opt.TCPNagle})
+				r, err := measureCollective(fabric, p, rho, opt.seed(),
+					transport.TCPOptions{DisableNoDelay: opt.TCPNagle}, opt.wire())
 				if err != nil {
 					return "", nil, err
 				}
@@ -398,6 +423,11 @@ func WriteHotPathJSON(ctx context.Context, opt Options) (string, error) {
 	path := opt.JSONPath
 	if path == "" {
 		path = "BENCH_gtopk.json"
+	}
+	// Preserve the wire-codec experiment's section across hotpath
+	// regenerations (and vice versa — the two share the artifact).
+	if prev, err := loadHotPathReport(path); err == nil && prev.WireCodec != nil {
+		report.WireCodec = prev.WireCodec
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

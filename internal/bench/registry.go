@@ -8,6 +8,7 @@ import (
 
 	"gtopkssgd/internal/metrics"
 	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/sparse"
 )
 
 // Options tunes experiment execution.
@@ -27,6 +28,21 @@ type Options struct {
 	// re-enabling Nagle's algorithm (the gtopk-bench -tcp-nodelay=false
 	// escape hatch for bandwidth-bound what-ifs).
 	TCPNagle bool
+	// Wire selects the sparse wire codec the hotpath harness's fabrics
+	// negotiate (zero value = v1, the recorded-baseline configuration).
+	// The wire-codec experiment sweeps all codecs regardless.
+	Wire sparse.Codec
+	// SelectShards, when > 0, overrides the wire-codec experiment's
+	// sharded-selection sweep with {1, SelectShards}.
+	SelectShards int
+}
+
+// wire returns the configured hotpath codec, defaulting to v1.
+func (o Options) wire() sparse.Codec {
+	if o.Wire == 0 {
+		return sparse.CodecV1
+	}
+	return o.Wire
 }
 
 func (o Options) seed() uint64 {
@@ -169,6 +185,11 @@ func Experiments() []Experiment {
 			ID:          "hotpath",
 			Description: "Hot path: zero-alloc gTop-k aggregation benchmarks; writes BENCH_gtopk.json",
 			Run:         WriteHotPathJSON,
+		},
+		{
+			ID:          "wire-codec",
+			Description: "Hot path: v1/v2/v2-fp16 wire-byte reduction + sharded selection scaling; updates BENCH_gtopk.json",
+			Run:         WriteWireCodecJSON,
 		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })

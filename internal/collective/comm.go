@@ -14,7 +14,9 @@ import (
 	"context"
 	"fmt"
 
+	"gtopkssgd/internal/metrics"
 	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/sparse"
 	"gtopkssgd/internal/transport"
 )
 
@@ -47,6 +49,13 @@ type Comm struct {
 	// unbounded. Forked children get a finite span so overrunning it
 	// fails loudly instead of silently bleeding into a sibling's tags.
 	tagLimit int
+
+	// fp16 opts encoders into half-precision values when the negotiated
+	// wire version supports them (see WireCodec). Inherited by Fork.
+	fp16 bool
+	// tally, when non-nil, receives raw-vs-encoded byte counts for every
+	// sparse frame custom collectives move. Inherited by Fork.
+	tally *metrics.WireTally
 }
 
 // New wraps a transport endpoint in a communicator.
@@ -169,6 +178,39 @@ func (c *Comm) SendConsumedOnReturn() bool { return transport.SendConsumedOnRetu
 // ChargeRound lets custom collectives account one synchronous
 // communication round moving elems float32-sized elements.
 func (c *Comm) ChargeRound(elems int) { c.chargeRound(elems) }
+
+// WireVersion reports the sparse wire-codec version negotiated across
+// this communicator's fabric (v1 for transports without negotiation).
+func (c *Comm) WireVersion() byte { return transport.NegotiatedWireVersion(c.conn) }
+
+// SetFP16Values opts this communicator's sparse encoders into binary16
+// values when the negotiated wire version supports them (v2). On a mesh
+// a v1 peer dragged down to v1 frames, the preference is silently
+// ineffective — v1 has no fp16 mode — which keeps mixed fleets lossless.
+func (c *Comm) SetFP16Values(on bool) { c.fp16 = on }
+
+// WireCodec resolves the sparse codec custom collectives must encode
+// their frames with: the mesh-negotiated wire version combined with this
+// communicator's value-precision preference.
+func (c *Comm) WireCodec() sparse.Codec {
+	return sparse.CodecForWire(c.WireVersion(), c.fp16)
+}
+
+// SetWireTally attaches a per-round wire-byte tally; every sparse frame
+// a codec-aware collective ENCODES through this communicator (and its
+// forked children) is recorded as raw-vs-encoded bytes — one
+// observation per frame, retransmissions excluded (see
+// metrics.WireTally). nil detaches.
+func (c *Comm) SetWireTally(t *metrics.WireTally) { c.tally = t }
+
+// TallyWire records one encoded sparse frame: rawBytes is the flat
+// v1-equivalent size, wireBytes the encoded frame size. No-op without an
+// attached tally.
+func (c *Comm) TallyWire(rawBytes, wireBytes int) {
+	if c.tally != nil {
+		c.tally.Observe(int64(rawBytes), int64(wireBytes))
+	}
+}
 
 // claimTags reserves n consecutive tags for a collective invocation and
 // returns the first. Because every rank issues the same collective

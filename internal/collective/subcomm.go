@@ -38,6 +38,8 @@ func (c *Comm) Fork(n int) ([]*Comm, error) {
 			conn:     c.conn,
 			nextTag:  base + i*subcommTagSpan,
 			tagLimit: base + (i+1)*subcommTagSpan,
+			fp16:     c.fp16,
+			tally:    c.tally,
 		}
 	}
 	return kids, nil

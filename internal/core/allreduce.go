@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/f16"
 	"gtopkssgd/internal/sparse"
 )
 
@@ -21,15 +22,24 @@ import (
 //
 // Communication cost (Eq. 6): log(P)·α + 2(P−1)k·β.
 func TopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector) (*sparse.Vector, error) {
-	own := sparse.Encode(local)
+	codec := comm.WireCodec()
+	own := sparse.EncodeCodec(codec, local)
+	comm.TallyWire(sparse.EncodedSize(local.NNZ()), len(own))
 	blobs, err := comm.AllGather(ctx, own)
 	if err != nil {
 		return nil, fmt.Errorf("core: topk allreduce: %w", err)
 	}
 	acc := sparse.GetAccumulator(local.Dim)
 	defer acc.Release()
+	var scratch *sparse.Vector
+	if codec != sparse.CodecV1 {
+		scratch = sparse.GetVector()
+		defer sparse.PutVector(scratch)
+	}
 	for rank, blob := range blobs {
-		v, err := sparse.DecodeView(blob)
+		// Every rank — including this one — folds in the DECODED frame,
+		// so under a lossy codec all replicas still sum identical bits.
+		v, err := decodeWireFrame(codec, blob, scratch)
 		if err != nil {
 			return nil, fmt.Errorf("core: topk allreduce: rank %d payload: %w", rank, err)
 		}
@@ -43,6 +53,21 @@ func TopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vec
 	sum := &sparse.Vector{}
 	acc.CompactInto(sum)
 	return sum, nil
+}
+
+// decodeWireFrame parses one received sparse frame under the mesh codec:
+// v1 payloads come back as zero-copy views into blob (the PR 3 hot
+// path, unchanged), v2 payloads are materialised into scratch — delta
+// codes cannot be aliased — which is safe to reuse across frames and
+// lets the caller release blob immediately.
+func decodeWireFrame(codec sparse.Codec, blob []byte, scratch *sparse.Vector) (sparse.Vector, error) {
+	if codec == sparse.CodecV1 {
+		return sparse.DecodeView(blob)
+	}
+	if err := sparse.DecodeV2Into(scratch, blob); err != nil {
+		return sparse.Vector{}, err
+	}
+	return *scratch, nil
 }
 
 // NaiveGTopKAllReduce implements Algorithm 2's aggregation: a full
@@ -157,10 +182,22 @@ func GTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local *spars
 	cur := local
 	ci := 0
 
+	// The negotiated codec shapes both the frames and the α-β byte
+	// accounting: v1 charges the paper's modelled 2k elements per round
+	// (bit-for-bit the pre-codec behaviour), v2 charges the bytes the
+	// compressed frames actually moved.
+	codec := comm.WireCodec()
+	var peerScratch *sparse.Vector
+	if codec != sparse.CodecV1 {
+		peerScratch = sparse.GetVector()
+		defer sparse.PutVector(peerScratch)
+	}
+
 	base := comm.ClaimTags(rounds)
 	for j := 0; j < rounds; j++ {
 		stride := 1 << j
 		group := 1 << (j + 1)
+		moved := 0
 		switch {
 		case r%group == 0 && r+stride < p:
 			// Receiver: partner r+stride streams its live vector as chunk
@@ -175,7 +212,8 @@ func GTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local *spars
 				if err != nil {
 					return fmt.Errorf("core: gtopk round %d recv: %w", j, err)
 				}
-				peer, err := sparse.DecodeView(blob)
+				moved += len(blob)
+				peer, err := decodeWireFrame(codec, blob, peerScratch)
 				if err != nil {
 					return fmt.Errorf("core: gtopk round %d payload: %w", j, err)
 				}
@@ -194,46 +232,64 @@ func GTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local *spars
 			// Sender: stream the live vector to r-stride in chunk frames,
 			// then go idle. Frames come from the shared pool and are
 			// recycled by the fabric or the receiving merge loop.
-			if err := sendSparseChunks(ctx, comm, cur, r-stride, base+j, chunks); err != nil {
+			sent, err := sendSparseChunks(ctx, comm, codec, cur, r-stride, base+j, chunks)
+			if err != nil {
 				return fmt.Errorf("core: gtopk round %d send: %w", j, err)
 			}
+			moved = sent
 			cur = nil
 		}
-		// Every rank pays the synchronous round cost: one message of at
-		// most 2k elements (k values + k indices) is in flight per pair.
-		comm.ChargeRound(2 * k)
+		// Every rank pays the synchronous round cost. Under v1 that is
+		// the paper's modelled bound — one message of at most 2k elements
+		// (k values + k indices) per pair; under v2 participants pay the
+		// compressed bytes they actually moved and idle ranks pay the
+		// latency term alone.
+		if codec == sparse.CodecV1 {
+			comm.ChargeRound(2 * k)
+		} else {
+			comm.ChargeRound((moved + 3) / 4)
+		}
 	}
 
 	// Phase 2: broadcast the global top-k from rank 0 (Algorithm 3 line
 	// 19), chunk-pipelined down the same binomial tree: a rank forwards
 	// chunk i to its subtree before receiving chunk i+1, so the levels of
 	// the tree work on consecutive chunks concurrently.
-	return bcastSparseChunks(ctx, comm, cur, k, chunks, out)
+	return bcastSparseChunks(ctx, comm, codec, cur, k, chunks, out)
 }
 
 // sendSparseChunks streams v to dst as `chunks` wire frames under one
-// tag (FIFO order per (src,dst,tag) keeps them in sequence). Chunks are
+// tag (FIFO order per (src,dst,tag) keeps them in sequence), encoded
+// with the mesh codec, and returns the bytes put on the wire. Chunks are
 // contiguous spans of the entry list, so each is itself a valid sparse
 // encoding and their concatenation reproduces v exactly.
-func sendSparseChunks(ctx context.Context, comm *collective.Comm, v *sparse.Vector, dst, tag, chunks int) error {
+func sendSparseChunks(ctx context.Context, comm *collective.Comm, codec sparse.Codec, v *sparse.Vector, dst, tag, chunks int) (int, error) {
 	nnz := v.NNZ()
+	sent := 0
 	for i := 0; i < chunks; i++ {
 		lo, hi := i*nnz/chunks, (i+1)*nnz/chunks
-		buf := sparse.EncodeSlices(v.Dim, v.Indices[lo:hi], v.Values[lo:hi])
+		buf := sparse.EncodeSlicesCodec(codec, v.Dim, v.Indices[lo:hi], v.Values[lo:hi])
+		sent += len(buf)
+		comm.TallyWire(sparse.EncodedSize(hi-lo), len(buf))
 		if err := comm.SendTagPooled(ctx, dst, tag, buf); err != nil {
-			return err
+			return sent, err
 		}
 	}
-	return nil
+	return sent, nil
 }
 
 // bcastSparseChunks distributes rank 0's cur to every rank's out along a
-// binomial tree in chunk-pipelined frames. Simulated-time accounting
-// matches the unchunked flat-tree broadcast this replaces: every rank
-// charges ceil(log2 P) rounds, paying the full payload from the round it
-// first holds data (chunking is transparent to the α-β model — it
-// reduces wall time by overlap, not modelled volume).
-func bcastSparseChunks(ctx context.Context, comm *collective.Comm, cur *sparse.Vector, k, chunks int, out *sparse.Vector) error {
+// binomial tree in chunk-pipelined frames encoded with the mesh codec.
+// Simulated-time accounting matches the unchunked flat-tree broadcast
+// this replaces: every rank charges ceil(log2 P) rounds, paying the full
+// payload — modelled flat bytes under v1, actual compressed bytes under
+// v2 — from the round it first holds data (chunking is transparent to
+// the α-β model; it reduces wall time by overlap, not modelled volume).
+//
+// Under a lossy codec the root first rounds its own values through the
+// codec's value precision, so the bits it keeps equal the bits every
+// other rank decodes off the wire — the broadcast stays replica-exact.
+func bcastSparseChunks(ctx context.Context, comm *collective.Comm, codec sparse.Codec, cur *sparse.Vector, k, chunks int, out *sparse.Vector) error {
 	p := comm.Size()
 	r := comm.Rank()
 	rounds := 0
@@ -243,7 +299,15 @@ func bcastSparseChunks(ctx context.Context, comm *collective.Comm, cur *sparse.V
 	base := comm.ClaimTags(rounds)
 
 	recvRound := 0 // the round in which this rank first holds data
+	wireBytes := 0 // actual encoded payload volume (one payload's worth)
 	if r == 0 {
+		if codec.Lossy() && p > 1 {
+			// cur is pooled scratch owned by this collective (with p > 1
+			// rank 0 always merged in round 0), so the in-place rounding
+			// never touches the caller's input. Encoding afterwards is a
+			// no-op precision-wise: the conversion is idempotent.
+			f16.RoundSlice(cur.Values)
+		}
 		sparse.CopyInto(out, cur)
 		for i := 0; i < chunks; i++ {
 			nnz := cur.NNZ()
@@ -252,7 +316,13 @@ func bcastSparseChunks(ctx context.Context, comm *collective.Comm, cur *sparse.V
 			for j := 0; j < rounds; j++ {
 				if child := 1 << j; child < p {
 					if buf == nil {
-						buf = sparse.EncodeSlices(cur.Dim, cur.Indices[lo:hi], cur.Values[lo:hi])
+						buf = sparse.EncodeSlicesCodec(codec, cur.Dim, cur.Indices[lo:hi], cur.Values[lo:hi])
+						wireBytes += len(buf)
+						// Tally once per encoded frame (compression
+						// event), not per child transmission — the tally
+						// measures codec efficiency; Stats.BytesSent
+						// tracks actual transmission volume.
+						comm.TallyWire(sparse.EncodedSize(hi-lo), len(buf))
 					}
 					if err := comm.SendTag(ctx, child, base+j, buf); err != nil {
 						return fmt.Errorf("core: gtopk bcast send: %w", err)
@@ -277,13 +347,23 @@ func bcastSparseChunks(ctx context.Context, comm *collective.Comm, cur *sparse.V
 		// private AND our plain sends to the subtree consumed it before
 		// returning (both true over TCP, both false in-process).
 		canRecycle := comm.RecvIsPrivate() && comm.SendConsumedOnReturn()
+		var chunkScratch *sparse.Vector
+		if codec != sparse.CodecV1 {
+			chunkScratch = sparse.GetVector()
+			defer sparse.PutVector(chunkScratch)
+		}
 		for i := 0; i < chunks; i++ {
 			blob, err := comm.RecvTag(ctx, parent, base+recvRound)
 			if err != nil {
 				return fmt.Errorf("core: gtopk bcast recv: %w", err)
 			}
+			wireBytes += len(blob)
 			// Forward down the subtree before consuming: the next level
 			// starts relaying chunk i while chunk i+1 is still inbound.
+			// Frames relay as raw bytes — every rank decodes the exact
+			// same payload regardless of codec, and a relay is not a new
+			// codec event, so nothing is tallied here (Stats.BytesSent
+			// still counts the transmission).
 			for j := recvRound + 1; j < rounds; j++ {
 				if child := r + 1<<j; child < p {
 					if err := comm.SendTag(ctx, child, base+j, blob); err != nil {
@@ -291,7 +371,7 @@ func bcastSparseChunks(ctx context.Context, comm *collective.Comm, cur *sparse.V
 					}
 				}
 			}
-			v, err := sparse.DecodeView(blob)
+			v, err := decodeWireFrame(codec, blob, chunkScratch)
 			if err != nil {
 				return fmt.Errorf("core: gtopk bcast payload: %w", err)
 			}
@@ -314,11 +394,15 @@ func bcastSparseChunks(ctx context.Context, comm *collective.Comm, cur *sparse.V
 	// α-β accounting, mirroring the flat-tree broadcast exactly (one
 	// monolithic payload per round — chunk framing is an implementation
 	// detail the model does not see): rounds before a rank holds data
-	// cost it nothing but the synchronisation point.
-	encoded := sparse.EncodedSize(out.NNZ())
+	// cost it nothing but the synchronisation point. v1 charges the
+	// modelled flat payload; v2 charges the measured compressed payload.
+	elems := sparse.EncodedSize(out.NNZ()) / 4
+	if codec != sparse.CodecV1 {
+		elems = (wireBytes + 3) / 4
+	}
 	for j := 0; j < rounds; j++ {
 		if r == 0 || j >= recvRound {
-			comm.ChargeRound(encoded / 4)
+			comm.ChargeRound(elems)
 		} else {
 			comm.ChargeRound(0)
 		}

@@ -22,12 +22,28 @@ import (
 type Sparsifier struct {
 	dim      int
 	residual []float32
+	// sel, when non-nil, runs the top-k selection in parallel over
+	// per-core shards (bit-identical to the serial path; see SetShards).
+	sel *sparse.ShardSelector
 }
 
 // NewSparsifier creates a sparsifier for a dim-parameter model with a
-// zeroed residual (Algorithm 1 line 1: G^g_0 = 0).
+// zeroed residual (Algorithm 1 line 1: G^g_0 = 0) and serial selection.
 func NewSparsifier(dim int) *Sparsifier {
 	return &Sparsifier{dim: dim, residual: make([]float32, dim)}
+}
+
+// SetShards configures the local top-k selection — the T_sparsify term
+// of the paper's iteration model — to run over n parallel shards:
+// 1 restores the serial path, 0 selects one shard per schedulable core
+// (GOMAXPROCS). The selection result is bit-identical for every shard
+// count; only the wall time changes.
+func (s *Sparsifier) SetShards(n int) {
+	if n == 1 {
+		s.sel = nil
+		return
+	}
+	s.sel = sparse.NewShardSelector(n)
 }
 
 // Dim returns the dense gradient dimension.
@@ -52,7 +68,12 @@ func (s *Sparsifier) Select(grad []float32, k int) (*sparse.Vector, error) {
 		return nil, fmt.Errorf("core: k=%d out of range [0,%d]", k, s.dim)
 	}
 	tensor.AddInto(s.residual, grad)
-	selected := sparse.TopK(s.residual, k)
+	selected := &sparse.Vector{}
+	if s.sel != nil {
+		s.sel.TopKInto(selected, s.residual, k)
+	} else {
+		sparse.TopKInto(selected, s.residual, k)
+	}
 	for _, idx := range selected.Indices {
 		s.residual[idx] = 0
 	}

@@ -184,3 +184,48 @@ func TestQuickSelectConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSparsifierShardedSelectBitIdentical: a sharded sparsifier must
+// walk the exact same residual/selection trajectory as a serial one
+// across iterations, for several shard counts.
+func TestSparsifierShardedSelectBitIdentical(t *testing.T) {
+	// dim must comfortably exceed the engine's minimum per-shard span
+	// (32768 elements) times the largest tested shard count, or the
+	// selector silently clamps to the serial fallback and the test
+	// compares serial against serial.
+	const dim, k, iters = 4 * 32768, 131, 4
+	for _, shards := range []int{0, 2, 4} {
+		serial := NewSparsifier(dim)
+		sharded := NewSparsifier(dim)
+		sharded.SetShards(shards)
+		src := prng.New(321)
+		grad := make([]float32, dim)
+		for it := 0; it < iters; it++ {
+			for i := range grad {
+				grad[i] = float32(src.NormFloat64())
+			}
+			want, err := serial.Select(grad, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sharded.Select(grad, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.NNZ() != got.NNZ() {
+				t.Fatalf("shards=%d iter %d: nnz %d vs %d", shards, it, want.NNZ(), got.NNZ())
+			}
+			for i := range want.Indices {
+				if want.Indices[i] != got.Indices[i] ||
+					math.Float32bits(want.Values[i]) != math.Float32bits(got.Values[i]) {
+					t.Fatalf("shards=%d iter %d entry %d differs", shards, it, i)
+				}
+			}
+			for i := range serial.Residual() {
+				if math.Float32bits(serial.Residual()[i]) != math.Float32bits(sharded.Residual()[i]) {
+					t.Fatalf("shards=%d iter %d: residual diverged at %d", shards, it, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package f16
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExhaustiveRoundTrip checks Bits(From(h)) == h for every one of the
+// 65536 binary16 bit patterns — the property the fp16 wire codec's
+// canonical re-encoding relies on.
+func TestExhaustiveRoundTrip(t *testing.T) {
+	for h := 0; h <= 0xffff; h++ {
+		f := From(uint16(h))
+		got := Bits(f)
+		if got != uint16(h) {
+			t.Fatalf("half %#04x -> %v -> %#04x", h, f, got)
+		}
+	}
+}
+
+// TestKnownConversions pins reference values, including rounding, range
+// edges, subnormals and specials.
+func TestKnownConversions(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff},         // largest finite half
+		{65520, 0x7c00},         // rounds to +Inf (just past the range midpoint)
+		{-65520, 0xfc00},        // rounds to -Inf
+		{6.1035156e-05, 0x0400}, // smallest normal half (2^-14)
+		{5.9604645e-08, 0x0001}, // smallest subnormal half (2^-24)
+		{2.9802322e-08, 0x0000}, // 2^-25 ties to even -> zero
+		{2.9802326e-08, 0x0001}, // just above 2^-25 rounds up
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+		{0.333251953125, 0x3555}, // 1/3 to the nearest half
+	}
+	for _, c := range cases {
+		if got := Bits(c.f); got != c.bits {
+			t.Errorf("Bits(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+	}
+	if !math.IsNaN(float64(From(0x7e00))) {
+		t.Errorf("From(0x7e00) = %v, want NaN", From(0x7e00))
+	}
+	if Bits(float32(math.NaN()))&0x7c00 != 0x7c00 || Bits(float32(math.NaN()))&0x3ff == 0 {
+		t.Errorf("Bits(NaN) = %#04x is not a NaN encoding", Bits(float32(math.NaN())))
+	}
+}
+
+// TestRoundToNearestEven checks the tie-breaking rule on exact midpoints
+// between adjacent half values.
+func TestRoundToNearestEven(t *testing.T) {
+	// 1.0 and the next half up 1.0009765625 (0x3c01); midpoint rounds to
+	// the even mantissa (0x3c00), just above rounds up.
+	mid := float32(1.00048828125)
+	if got := Bits(mid); got != 0x3c00 {
+		t.Errorf("Bits(midpoint %v) = %#04x, want 0x3c00 (ties to even)", mid, got)
+	}
+	if got := Bits(math.Nextafter32(mid, 2)); got != 0x3c01 {
+		t.Errorf("Bits(just above midpoint) = %#04x, want 0x3c01", got)
+	}
+	// Midpoint between 0x3c01 and 0x3c02 rounds UP to the even 0x3c02.
+	mid2 := float32(1.00146484375)
+	if got := Bits(mid2); got != 0x3c02 {
+		t.Errorf("Bits(midpoint %v) = %#04x, want 0x3c02 (ties to even)", mid2, got)
+	}
+}
+
+// TestRelativeErrorBound samples the normal range and asserts the 2^-11
+// relative error bound documented for the fp16 wire mode.
+func TestRelativeErrorBound(t *testing.T) {
+	state := uint64(7)
+	for i := 0; i < 100000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		f := math.Float32frombits(uint32(state))
+		a := float64(f)
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) < 6.2e-5 || math.Abs(a) > 65504 {
+			continue
+		}
+		r := float64(Round(f))
+		if rel := math.Abs(r-a) / math.Abs(a); rel > 1.0/2048 {
+			t.Fatalf("Round(%v) = %v, relative error %v > 2^-11", f, r, rel)
+		}
+	}
+}
+
+// TestRoundIdempotent asserts Round(Round(x)) == Round(x) bitwise.
+func TestRoundIdempotent(t *testing.T) {
+	state := uint64(11)
+	for i := 0; i < 100000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		f := math.Float32frombits(uint32(state))
+		once := Round(f)
+		twice := Round(once)
+		if math.Float32bits(once) != math.Float32bits(twice) {
+			t.Fatalf("Round not idempotent on %v: %x vs %x", f,
+				math.Float32bits(once), math.Float32bits(twice))
+		}
+	}
+}

@@ -16,9 +16,40 @@ import (
 	"fmt"
 	"math"
 
+	"gtopkssgd/internal/f16"
 	"gtopkssgd/internal/prng"
 	"gtopkssgd/internal/sparse"
 )
+
+// Float16 quantizes x through IEEE 754 binary16 and back — the value a
+// receiver reconstructs from a half-precision wire payload
+// (round-to-nearest-even; relative error ≤ 2^-11 in the half normal
+// range, overflow to ±Inf beyond ±65504). It is the same conversion
+// (internal/f16) the v2 sparse wire codec's fp16 mode uses for its
+// bytes, exposed here as the half-precision member of this package's
+// quantizer family.
+func Float16(x float32) float32 { return f16.Round(x) }
+
+// RoundTripF16 quantizes every element of xs in place through binary16.
+// Idempotent, like the scalar conversion it applies. (One shared loop —
+// f16.RoundSlice — backs this and the collective's root pre-rounding.)
+func RoundTripF16(xs []float32) { f16.RoundSlice(xs) }
+
+// QuantizeSparseF16 compresses the VALUES of a sparse top-k vector to
+// binary16 — the half-precision sibling of QuantizeSparse's 8-bit
+// levels. Indices stay exact (they must; a wrong index corrupts an
+// unrelated parameter). Returns the quantized copy and the bytes the
+// v2-fp16 wire codec occupies for it on the wire, versus 8 bytes per
+// entry uncompressed.
+func QuantizeSparseF16(v *sparse.Vector) (*sparse.Vector, int) {
+	out := &sparse.Vector{
+		Dim:     v.Dim,
+		Indices: append([]int32(nil), v.Indices...),
+		Values:  append([]float32(nil), v.Values...),
+	}
+	RoundTripF16(out.Values)
+	return out, sparse.EncodedSizeCodec(sparse.CodecV2F16, v.Dim, v.Indices)
+}
 
 // Sign compresses x to its element-wise sign. The returned slice holds
 // +1/−1 as float32 (the scale is carried separately by callers that need

@@ -399,3 +399,41 @@ func TestDimValidation(t *testing.T) {
 		t.Error("terngrad dim mismatch accepted")
 	}
 }
+
+// TestQuantizeSparseF16 pins the half-precision compressor: exact
+// indices, values equal to the binary16 round trip (idempotent), and a
+// wire cost matching the v2-fp16 codec's actual frame.
+func TestQuantizeSparseF16(t *testing.T) {
+	v := &sparse.Vector{
+		Dim:     1000,
+		Indices: []int32{1, 40, 41, 999},
+		Values:  []float32{0.333333, -1e-9, 70000, -2.5},
+	}
+	q, wire := QuantizeSparseF16(v)
+	if wire != len(sparse.EncodeCodec(sparse.CodecV2F16, v)) {
+		t.Fatalf("reported wire %d bytes, actual v2-fp16 frame %d", wire, len(sparse.EncodeCodec(sparse.CodecV2F16, v)))
+	}
+	for i, idx := range v.Indices {
+		if q.Indices[i] != idx {
+			t.Fatalf("index %d changed: %d -> %d", i, idx, q.Indices[i])
+		}
+		want := Float16(v.Values[i])
+		if math.Float32bits(q.Values[i]) != math.Float32bits(want) {
+			t.Fatalf("value %d: got %v want %v", i, q.Values[i], want)
+		}
+		if math.Float32bits(Float16(q.Values[i])) != math.Float32bits(q.Values[i]) {
+			t.Fatalf("value %d not idempotent under Float16", i)
+		}
+	}
+	if v.Values[0] == q.Values[0] {
+		t.Fatal("0.333333 should not be exactly representable in binary16")
+	}
+	// RoundTripF16 matches element-wise application.
+	xs := append([]float32(nil), v.Values...)
+	RoundTripF16(xs)
+	for i := range xs {
+		if math.Float32bits(xs[i]) != math.Float32bits(q.Values[i]) {
+			t.Fatalf("RoundTripF16 element %d differs from QuantizeSparseF16", i)
+		}
+	}
+}

@@ -4,7 +4,34 @@ import (
 	"bytes"
 	"math"
 	"testing"
+
+	"gtopkssgd/internal/f16"
 )
+
+// fuzzBuildVector constructs a structurally valid vector from fuzzed raw
+// material: each 8-byte chunk of raw proposes one (index delta, value)
+// entry, with strictly ascending indices enforced by construction.
+func fuzzBuildVector(dim16 uint16, raw []byte) *Vector {
+	dim := int(dim16)
+	if dim == 0 {
+		dim = 1
+	}
+	v := &Vector{Dim: dim}
+	next := int32(0)
+	for off := 0; off+8 <= len(raw) && int(next) < dim; off += 8 {
+		delta := int32(raw[off]) % 7
+		idx := next + delta
+		if int(idx) >= dim {
+			break
+		}
+		bits := uint32(raw[off+4]) | uint32(raw[off+5])<<8 |
+			uint32(raw[off+6])<<16 | uint32(raw[off+7])<<24
+		v.Indices = append(v.Indices, idx)
+		v.Values = append(v.Values, math.Float32frombits(bits))
+		next = idx + 1
+	}
+	return v
+}
 
 // FuzzDecode feeds arbitrary bytes to Decode. The decoder must never
 // panic (transport payloads are untrusted at this layer), and anything it
@@ -37,26 +64,7 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 	f.Add(uint16(1), []byte{})
 	f.Add(uint16(300), []byte{0, 0, 192, 127, 10, 0, 128, 255, 20, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, dim16 uint16, raw []byte) {
-		dim := int(dim16)
-		if dim == 0 {
-			dim = 1
-		}
-		// Each 8-byte chunk of raw proposes one (index delta, value) entry;
-		// strictly ascending indices are enforced by construction.
-		v := &Vector{Dim: dim}
-		next := int32(0)
-		for off := 0; off+8 <= len(raw) && int(next) < dim; off += 8 {
-			delta := int32(raw[off]) % 7
-			idx := next + delta
-			if int(idx) >= dim {
-				break
-			}
-			bits := uint32(raw[off+4]) | uint32(raw[off+5])<<8 |
-				uint32(raw[off+6])<<16 | uint32(raw[off+7])<<24
-			v.Indices = append(v.Indices, idx)
-			v.Values = append(v.Values, math.Float32frombits(bits))
-			next = idx + 1
-		}
+		v := fuzzBuildVector(dim16, raw)
 		if err := v.Validate(); err != nil {
 			t.Fatalf("constructed vector invalid: %v", err)
 		}
@@ -75,6 +83,100 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 			if math.Float32bits(got.Values[i]) != math.Float32bits(v.Values[i]) {
 				t.Fatalf("value %d: %x != %x", i,
 					math.Float32bits(got.Values[i]), math.Float32bits(v.Values[i]))
+			}
+		}
+	})
+}
+
+// FuzzDecodeV2 feeds arbitrary bytes to the v2 decoder. It must never
+// panic (transport payloads are untrusted), and anything it accepts must
+// re-encode to the exact same bytes under the codec named by the frame's
+// own flags byte — minimal varints and exact framing keep v2 canonical.
+func FuzzDecodeV2(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{V2Magic, 2, 0, 4, 0})
+	f.Add(EncodeCodec(CodecV2, &Vector{Dim: 4, Indices: []int32{1, 3}, Values: []float32{-2, 0.5}}))
+	f.Add(EncodeCodec(CodecV2F16, &Vector{Dim: 300, Indices: []int32{0, 299}, Values: []float32{float32(math.Inf(1)), 1e-8}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := &Vector{}
+		if err := DecodeV2Into(v, data); err != nil {
+			return
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("DecodeV2Into accepted an invalid vector: %v", err)
+		}
+		codec := CodecV2
+		if data[2]&0x01 != 0 {
+			codec = CodecV2F16
+		}
+		if !bytes.Equal(EncodeCodec(codec, v), data) {
+			t.Fatalf("re-encode of accepted v2 payload differs from input")
+		}
+	})
+}
+
+// FuzzV2RoundTrip builds structurally valid vectors from fuzzed raw
+// material and asserts the v2 encode→decode round trip: bit-exact for
+// the lossless codec, the f16.Round image for fp16 — and that
+// EncodedSizeCodec predicts the frame size exactly.
+func FuzzV2RoundTrip(f *testing.F) {
+	f.Add(uint16(8), []byte{1, 0, 0, 0, 63, 2, 128, 191})
+	f.Add(uint16(1), []byte{})
+	f.Add(uint16(300), []byte{0, 0, 192, 127, 10, 0, 128, 255, 20, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, dim16 uint16, raw []byte) {
+		v := fuzzBuildVector(dim16, raw)
+		for _, codec := range []Codec{CodecV2, CodecV2F16} {
+			buf := EncodeCodec(codec, v)
+			if want := EncodedSizeCodec(codec, v.Dim, v.Indices); len(buf) != want {
+				t.Fatalf("codec %s: frame %d bytes, EncodedSizeCodec says %d", codec, len(buf), want)
+			}
+			got, err := DecodeCodec(codec, buf)
+			if err != nil {
+				t.Fatalf("codec %s round trip failed: %v", codec, err)
+			}
+			if got.Dim != v.Dim || got.NNZ() != v.NNZ() {
+				t.Fatalf("codec %s shape: dim %d nnz %d, want dim %d nnz %d",
+					codec, got.Dim, got.NNZ(), v.Dim, v.NNZ())
+			}
+			for i := range v.Indices {
+				if got.Indices[i] != v.Indices[i] {
+					t.Fatalf("codec %s index %d: %d != %d", codec, i, got.Indices[i], v.Indices[i])
+				}
+				want := v.Values[i]
+				if codec == CodecV2F16 {
+					want = f16.Round(want)
+				}
+				if math.Float32bits(got.Values[i]) != math.Float32bits(want) {
+					t.Fatalf("codec %s value %d: %x != %x", codec, i,
+						math.Float32bits(got.Values[i]), math.Float32bits(want))
+				}
+			}
+		}
+	})
+}
+
+// FuzzCodecCrossDecode asserts version isolation: v1 frames are rejected
+// by the v2 decoder (whenever the v1 header cannot be mistaken for the
+// v2 magic) and v2/v2-fp16 frames are rejected by both v1 decoders.
+func FuzzCodecCrossDecode(f *testing.F) {
+	f.Add(uint16(8), []byte{1, 0, 0, 0, 63, 2, 128, 191})
+	f.Add(uint16(0xA7), []byte{}) // dim low byte == magic: the sniffing blind spot
+	f.Add(uint16(300), []byte{0, 0, 192, 127, 10, 0, 128, 255})
+	f.Fuzz(func(t *testing.T, dim16 uint16, raw []byte) {
+		v := fuzzBuildVector(dim16, raw)
+		v1buf := Encode(v)
+		if v1buf[0] != V2Magic {
+			if err := DecodeV2Into(&Vector{}, v1buf); err == nil {
+				t.Fatalf("v2 decoder accepted a v1 frame (dim=%d nnz=%d)", v.Dim, v.NNZ())
+			}
+		}
+		for _, codec := range []Codec{CodecV2, CodecV2F16} {
+			v2buf := EncodeCodec(codec, v)
+			if _, err := Decode(v2buf); err == nil {
+				t.Fatalf("v1 decoder accepted a %s frame (dim=%d nnz=%d)", codec, v.Dim, v.NNZ())
+			}
+			if _, err := DecodeView(v2buf); err == nil {
+				t.Fatalf("v1 DecodeView accepted a %s frame (dim=%d nnz=%d)", codec, v.Dim, v.NNZ())
 			}
 		}
 	})

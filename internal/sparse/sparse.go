@@ -128,11 +128,35 @@ func Merge(a, b *Vector, k int) (*Vector, error) {
 // largest |x_i| (quickselect, expected O(n)), then mask everything below
 // it in one ascending scan — which also yields the indices pre-sorted.
 func TopK(x []float32, k int) *Vector {
+	out := &Vector{}
+	TopKInto(out, x, k)
+	return out
+}
+
+// TopKInto is TopK writing into a caller-owned destination, reusing its
+// capacity. Selection order and tie-breaking are identical to TopK; the
+// sharded selection engine runs it per shard.
+func TopKInto(dst *Vector, x []float32, k int) {
+	dst.Dim = len(x)
 	if k <= 0 {
-		return &Vector{Dim: len(x)}
+		dst.Indices = dst.Indices[:0]
+		dst.Values = dst.Values[:0]
+		return
 	}
 	if k >= len(x) {
-		return FromDense(x)
+		// All non-zero entries survive (FromDense semantics).
+		ensureVec(dst, len(x))
+		o := 0
+		for i, v := range x {
+			if v != 0 {
+				dst.Indices[o] = int32(i)
+				dst.Values[o] = v
+				o++
+			}
+		}
+		dst.Indices = dst.Indices[:o]
+		dst.Values = dst.Values[:o]
+		return
 	}
 	thr := Threshold(x, k)
 	// Count strict winners so the remaining quota goes to the
@@ -144,24 +168,27 @@ func TopK(x []float32, k int) *Vector {
 		}
 	}
 	tieQuota := k - strict
-	out := &Vector{
-		Dim:     len(x),
-		Indices: make([]int32, 0, k),
-		Values:  make([]float32, 0, k),
-	}
+	ensureVec(dst, k)
+	o := 0
 	for i, v := range x {
 		m := abs32(v)
 		switch {
 		case m > thr:
-			out.Indices = append(out.Indices, int32(i))
-			out.Values = append(out.Values, v)
+			dst.Indices[o] = int32(i)
+			dst.Values[o] = v
+			o++
 		case m == thr && tieQuota > 0:
-			out.Indices = append(out.Indices, int32(i))
-			out.Values = append(out.Values, v)
+			dst.Indices[o] = int32(i)
+			dst.Values[o] = v
+			o++
 			tieQuota--
 		}
+		if o == k {
+			break
+		}
 	}
-	return out
+	dst.Indices = dst.Indices[:o]
+	dst.Values = dst.Values[:o]
 }
 
 // TopKSparse selects the k largest-magnitude stored entries of v. Hot

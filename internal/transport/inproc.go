@@ -120,8 +120,15 @@ type InProcFabric struct {
 
 var _ Fabric = (*InProcFabric)(nil)
 
-// NewInProc creates an in-process fabric with n ranks.
-func NewInProc(n int) (*InProcFabric, error) {
+// NewInProc creates an in-process fabric with n ranks speaking the v1
+// sparse wire format.
+func NewInProc(n int) (*InProcFabric, error) { return NewInProcWire(n, WireV1) }
+
+// NewInProcWire creates an in-process fabric whose endpoints report the
+// given sparse wire-codec version. All ranks live in one process, so
+// "negotiation" reduces to configuration — the in-process counterpart of
+// the TCP mesh's handshake byte.
+func NewInProcWire(n int, wire byte) (*InProcFabric, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: fabric size %d < 1", n)
 	}
@@ -131,7 +138,7 @@ func NewInProc(n int) (*InProcFabric, error) {
 		boxes[i] = newMailbox()
 	}
 	for i := range f.conns {
-		f.conns[i] = &inProcConn{rank: i, boxes: boxes}
+		f.conns[i] = &inProcConn{rank: i, boxes: boxes, wire: normalizeWire(wire)}
 	}
 	return f, nil
 }
@@ -153,12 +160,16 @@ func (f *InProcFabric) Close() error {
 type inProcConn struct {
 	rank  int
 	boxes []*mailbox // shared across all conns; boxes[r] is rank r's inbox
+	wire  byte
 }
 
 var _ Conn = (*inProcConn)(nil)
 
 func (c *inProcConn) Rank() int { return c.rank }
 func (c *inProcConn) Size() int { return len(c.boxes) }
+
+// NegotiatedWireVersion implements the wire-version capability.
+func (c *inProcConn) NegotiatedWireVersion() byte { return c.wire }
 
 func (c *inProcConn) Send(ctx context.Context, dst, tag int, payload []byte) error {
 	if err := validatePeer(c.rank, dst, len(c.boxes)); err != nil {

@@ -34,18 +34,31 @@ type MeshConfig struct {
 	Listener net.Listener
 	// TCP tunes the mesh's data-plane sockets; the zero value enables
 	// TCP_NODELAY, which the small synchronous collective frames want.
+	// TCP.WireVersion is this worker's sparse wire-codec offer: the
+	// handshake carries it and the mesh settles on the minimum version
+	// offered by any member, so a v1 peer still decodes every frame.
 	TCP TCPOptions
 }
 
 // helloSize is the wire size of the mesh handshake: uint32 rank,
-// uint64 epoch, little-endian.
-const helloSize = 12
+// uint64 epoch, one wire-codec offer byte, little-endian.
+//
+// The handshake layout itself is NOT versioned (there is no room to
+// retrofit one — older revisions read a fixed byte count and would
+// consume part of a longer hello as frame data), so every member of a
+// mesh must run the same handshake revision of this package; the codec
+// offer byte negotiates the sparse FRAME format within that revision,
+// not the handshake. Mixing binaries across handshake revisions (4-byte
+// pre-epoch, 12-byte epoch, 13-byte codec-offer hellos) desyncs the
+// link and surfaces as a mesh-setup timeout.
+const helloSize = 13
 
-// helloAck is the single byte an acceptor returns after admitting a
-// dialled connection into the mesh. Dials that never see the ack (the
-// peer is still in an older epoch, or its accept backlog swallowed a
-// connection it later discarded) redial instead of silently attaching a
-// half-open link.
+// helloAck is the first of the two bytes an acceptor returns after
+// admitting a dialled connection into the mesh (the second byte is the
+// wire-codec version chosen for the link — the minimum of both offers).
+// Dials that never see the ack (the peer is still in an older epoch, or
+// its accept backlog swallowed a connection it later discarded) redial
+// instead of silently attaching a half-open link.
 const helloAck = 0x06
 
 // JoinMesh joins a multi-process TCP mesh as one rank and returns its
@@ -74,6 +87,7 @@ func JoinMesh(ctx context.Context, cfg MeshConfig) (Conn, error) {
 		opts:  cfg.TCP,
 		peers: make([]*peerLink, n),
 		box:   newMailbox(),
+		wire:  normalizeWire(cfg.TCP.WireVersion),
 	}
 	if n == 1 {
 		return c, nil
@@ -114,11 +128,12 @@ func JoinMesh(ctx context.Context, cfg MeshConfig) (Conn, error) {
 		wg.Add(1)
 		go func(peer int) {
 			defer wg.Done()
-			sock, err := dialMesh(ctx, cfg.Addrs[peer], cfg.Rank, cfg.Epoch)
+			sock, linkWire, err := dialMesh(ctx, cfg.Addrs[peer], cfg.Rank, cfg.Epoch, normalizeWire(cfg.TCP.WireVersion))
 			if err != nil {
 				fail(fmt.Errorf("rank %d dial rank %d (%s): %w", cfg.Rank, peer, cfg.Addrs[peer], err))
 				return
 			}
+			c.noteWire(linkWire)
 			c.attach(peer, sock)
 		}(peer)
 	}
@@ -158,7 +173,7 @@ func acceptHigherRanks(ctx context.Context, ln net.Listener, c *tcpConn, cfg Mes
 			closeConns(admitted)
 			return fmt.Errorf("rank %d accept: %w", cfg.Rank, err)
 		}
-		peer, epoch, err := readHello(sock)
+		peer, epoch, offered, err := readHello(sock)
 		if err != nil || epoch != cfg.Epoch {
 			// Stale epoch, garbage, or an abandoned redial victim: not
 			// part of this mesh. Dropping without an ack makes a live
@@ -174,7 +189,10 @@ func acceptHigherRanks(ctx context.Context, ln net.Listener, c *tcpConn, cfg Mes
 			closeConns(admitted)
 			return fmt.Errorf("rank %d: unexpected hello from rank %d (epoch %d)", cfg.Rank, peer, epoch)
 		}
-		if _, err := sock.Write([]byte{helloAck}); err != nil {
+		// The link speaks the older of the two offers; the ack tells the
+		// dialler which version won so both ends agree.
+		linkWire := minWire(normalizeWire(cfg.TCP.WireVersion), normalizeWire(offered))
+		if _, err := sock.Write([]byte{helloAck, linkWire}); err != nil {
 			sock.Close() //nolint:errcheck // dialler gave up; it will redial
 			continue
 		}
@@ -182,6 +200,7 @@ func acceptHigherRanks(ctx context.Context, ln net.Listener, c *tcpConn, cfg Mes
 			prev.Close() //nolint:errcheck // superseded by the peer's redial
 		}
 		admitted[peer] = sock
+		c.noteWire(linkWire)
 	}
 	if hasDeadline {
 		dl.SetDeadline(time.Time{}) //nolint:errcheck // clear polling deadline
@@ -193,11 +212,12 @@ func acceptHigherRanks(ctx context.Context, ln net.Listener, c *tcpConn, cfg Mes
 }
 
 // dialMesh dials addr until the acceptor admits this rank into epoch's
-// mesh (hello sent, ack received) or ctx expires. A connection that is
-// accepted by the OS but never acked — the peer is still in another
-// epoch, or dropped us while draining its backlog — is closed and
-// redialled with backoff.
-func dialMesh(ctx context.Context, addr string, rank int, epoch uint64) (net.Conn, error) {
+// mesh (hello with the wire-codec offer sent, two-byte ack received) or
+// ctx expires. It returns the admitted connection plus the wire version
+// the acceptor chose for the link. A connection that is accepted by the
+// OS but never acked — the peer is still in another epoch, or dropped us
+// while draining its backlog — is closed and redialled with backoff.
+func dialMesh(ctx context.Context, addr string, rank int, epoch uint64, offerWire byte) (net.Conn, byte, error) {
 	backoff := 10 * time.Millisecond
 	const maxBackoff = time.Second
 	// ackWait bounds one admission attempt. It is generous relative to a
@@ -211,26 +231,31 @@ func dialMesh(ctx context.Context, addr string, rank int, epoch uint64) (net.Con
 			var hello [helloSize]byte
 			binary.LittleEndian.PutUint32(hello[0:4], uint32(rank))
 			binary.LittleEndian.PutUint64(hello[4:12], epoch)
+			hello[12] = offerWire
 			if _, err = sock.Write(hello[:]); err == nil {
 				deadline := time.Now().Add(ackWait)
 				if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
 					deadline = cd
 				}
 				sock.SetReadDeadline(deadline) //nolint:errcheck // best-effort bound on the ack wait
-				var ack [1]byte
-				if _, err = io.ReadFull(sock, ack[:]); err == nil && ack[0] == helloAck {
+				var ack [2]byte
+				if _, err = io.ReadFull(sock, ack[:]); err == nil && ack[0] == helloAck &&
+					ack[1] >= WireV1 && ack[1] <= offerWire {
+					// The chosen version can only be between v1 and our
+					// own offer; anything else is a protocol violation and
+					// the connection is abandoned like a missing ack.
 					sock.SetReadDeadline(time.Time{}) //nolint:errcheck // clear handshake deadline
-					return sock, nil
+					return sock, ack[1], nil
 				}
 			}
 			sock.Close() //nolint:errcheck // admission failed; retry fresh
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, 0, ctx.Err()
 		}
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, 0, ctx.Err()
 		case <-time.After(backoff):
 		}
 		if backoff < maxBackoff {
@@ -239,15 +264,16 @@ func dialMesh(ctx context.Context, addr string, rank int, epoch uint64) (net.Con
 	}
 }
 
-// readHello parses the dialler's 12-byte mesh handshake.
-func readHello(sock net.Conn) (rank int, epoch uint64, err error) {
+// readHello parses the dialler's 13-byte mesh handshake: rank, epoch and
+// the dialler's sparse wire-codec offer.
+func readHello(sock net.Conn) (rank int, epoch uint64, offerWire byte, err error) {
 	sock.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // bound a wedged handshake
 	var hello [helloSize]byte
 	if _, err := io.ReadFull(sock, hello[:]); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	sock.SetReadDeadline(time.Time{}) //nolint:errcheck // clear handshake deadline
-	return int(binary.LittleEndian.Uint32(hello[0:4])), binary.LittleEndian.Uint64(hello[4:12]), nil
+	return int(binary.LittleEndian.Uint32(hello[0:4])), binary.LittleEndian.Uint64(hello[4:12]), hello[12], nil
 }
 
 func closeConns(conns map[int]net.Conn) {

@@ -164,3 +164,80 @@ func TestJoinMeshRejectsStaleEpoch(t *testing.T) {
 		c.Close() //nolint:errcheck // test teardown
 	}
 }
+
+// joinAllWire is joinAll with per-rank sparse wire-codec offers.
+func joinAllWire(t *testing.T, ctx context.Context, lns []net.Listener, addrs []string, offers []byte) []Conn {
+	t.Helper()
+	conns := make([]Conn, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for r := range addrs {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			conns[r], errs[r] = JoinMesh(ctx, MeshConfig{
+				Rank: r, Addrs: addrs, Epoch: 1, Listener: lns[r],
+				TCP: TCPOptions{WireVersion: offers[r]},
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", r, err)
+		}
+	}
+	return conns
+}
+
+// TestMeshWireNegotiation checks the codec handshake: a mesh settles on
+// the minimum wire version any member offers — all-v2 meshes speak v2,
+// one v1 (or unset) peer drags everyone to v1, and unknown future
+// versions clamp to the newest this build speaks.
+func TestMeshWireNegotiation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cases := []struct {
+		name   string
+		offers []byte
+		want   byte
+	}{
+		{"all-v2", []byte{WireV2, WireV2, WireV2}, WireV2},
+		{"one-v1-peer", []byte{WireV2, WireV1, WireV2}, WireV1},
+		{"unset-means-v1", []byte{WireV2, 0, WireV2}, WireV1},
+		{"future-version-clamps", []byte{9, WireV2, 9}, WireV2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lns, addrs := meshListeners(t, len(tc.offers))
+			conns := joinAllWire(t, ctx, lns, addrs, tc.offers)
+			for r, c := range conns {
+				if got := NegotiatedWireVersion(c); got != tc.want {
+					t.Errorf("rank %d negotiated wire v%d, want v%d", r, got, tc.want)
+				}
+				c.Close() //nolint:errcheck // test teardown
+			}
+		})
+	}
+}
+
+// TestInProcWireVersion checks the in-process fabric's configured wire
+// version and the v1 default of fabrics without the capability wiring.
+func TestInProcWireVersion(t *testing.T) {
+	f, err := NewInProcWire(2, WireV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck // test teardown
+	if got := NegotiatedWireVersion(f.Conn(0)); got != WireV2 {
+		t.Fatalf("inproc wire v%d, want v2", got)
+	}
+	f1, err := NewInProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close() //nolint:errcheck // test teardown
+	if got := NegotiatedWireVersion(f1.Conn(0)); got != WireV1 {
+		t.Fatalf("default inproc wire v%d, want v1", got)
+	}
+}

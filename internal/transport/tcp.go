@@ -48,6 +48,13 @@ type TCPOptions struct {
 	// 64 KiB default, which holds a full rho=0.001 frame for models up to
 	// ~8M parameters.
 	WriteBufBytes int
+	// WireVersion is the sparse wire-codec version this endpoint offers
+	// (0 or WireV1 = legacy flat frames, WireV2 = delta/varint frames).
+	// Meshes built by JoinMesh carry the offer in the handshake and
+	// settle on the minimum any member offers; fabrics built in-process
+	// (NewTCPWithOptions) simply adopt the configured version, since all
+	// ranks share one options value.
+	WireVersion byte
 }
 
 // defaultWriteBuf is the per-link write-buffer size when unset.
@@ -96,6 +103,7 @@ func NewTCPWithOptions(n int, opts TCPOptions) (*TCPFabric, error) {
 			opts:  opts,
 			peers: make([]*peerLink, n),
 			box:   newMailbox(),
+			wire:  normalizeWire(opts.WireVersion),
 		}
 	}
 
@@ -208,6 +216,10 @@ type tcpConn struct {
 	mu      sync.Mutex
 	readers sync.WaitGroup
 	closed  bool
+	// wire is the sparse wire version in force for the whole mesh: the
+	// minimum of this endpoint's offer and every per-link negotiation
+	// outcome (a full mesh makes that the global minimum at every rank).
+	wire byte
 }
 
 var (
@@ -267,6 +279,18 @@ func (c *tcpConn) Size() int { return c.size }
 // RecvIsPrivate implements the private-receiver capability: every frame
 // is read into a buffer owned by this endpoint alone.
 func (c *tcpConn) RecvIsPrivate() bool { return true }
+
+// NegotiatedWireVersion implements the wire-version capability: the
+// sparse codec version the whole mesh settled on.
+func (c *tcpConn) NegotiatedWireVersion() byte { return c.wire }
+
+// noteWire folds one link's negotiated wire version into the mesh-wide
+// minimum. Called during wire-up, before the endpoint is shared.
+func (c *tcpConn) noteWire(v byte) {
+	c.mu.Lock()
+	c.wire = minWire(c.wire, normalizeWire(v))
+	c.mu.Unlock()
+}
 
 // SendIsSynchronous implements the sync-sender capability: Send copies
 // the payload into the link's buffered writer and flushes before

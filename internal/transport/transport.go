@@ -112,6 +112,61 @@ func PrivateRecv(c Conn) bool {
 	return ok && pr.RecvIsPrivate()
 }
 
+// Sparse wire-codec versions a fabric can negotiate. The version governs
+// the frame payload format of internal/sparse (v1 flat frames vs v2
+// delta/varint frames); the transport itself is agnostic to payload
+// contents and only carries the negotiated number.
+const (
+	// WireV1 is the legacy flat sparse frame format.
+	WireV1 byte = 1
+	// WireV2 is the delta/varint sparse frame format (optionally fp16).
+	WireV2 byte = 2
+	// LatestWire is the newest wire version this build speaks.
+	LatestWire = WireV2
+)
+
+// normalizeWire clamps a configured wire-version preference: 0 (unset)
+// means v1, anything newer than this build speaks clamps to LatestWire.
+func normalizeWire(v byte) byte {
+	switch {
+	case v == 0:
+		return WireV1
+	case v > LatestWire:
+		return LatestWire
+	default:
+		return v
+	}
+}
+
+// minWire returns the older of two wire versions — the negotiation rule:
+// a mesh settles on the minimum version any member offers, so a v1 peer
+// keeps every frame decodable by everyone.
+func minWire(a, b byte) byte {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// wireVersioned is an optional Conn capability: fabrics that negotiate
+// (or are configured with) a sparse wire-codec version report it here.
+type wireVersioned interface {
+	NegotiatedWireVersion() byte
+}
+
+// NegotiatedWireVersion reports the sparse wire version every rank of
+// c's fabric agreed to speak. Fabrics without the capability — or with
+// an unset version — default to WireV1, so codec-aware collectives stay
+// compatible with any Conn implementation.
+func NegotiatedWireVersion(c Conn) byte {
+	if wv, ok := c.(wireVersioned); ok {
+		if v := wv.NegotiatedWireVersion(); v != 0 {
+			return v
+		}
+	}
+	return WireV1
+}
+
 // Errors shared by fabric implementations.
 var (
 	// ErrClosed is returned by operations on a closed endpoint.

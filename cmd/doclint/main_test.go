@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gtopkssgd/internal/clitest"
+)
+
+func TestMain(m *testing.M) {
+	if clitest.InterceptMain() {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// writeGoFile drops one Go source file into a fresh temp dir and
+// returns the dir.
+func writeGoFile(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestExitCodes covers the three outcomes: clean package (0), missing
+// doc comments (1), unreadable root (2).
+func TestExitCodes(t *testing.T) {
+	clean := writeGoFile(t, "// Package ok is documented.\npackage ok\n\n// Exported is documented.\nfunc Exported() {}\n")
+	res := clitest.Run(t, clean)
+	if res.Code != 0 {
+		t.Fatalf("clean package: exit %d (stdout: %s stderr: %s)", res.Code, res.Stdout, res.Stderr)
+	}
+
+	dirty := writeGoFile(t, "// Package bad is documented.\npackage bad\n\nfunc Undocumented() {}\n")
+	res = clitest.Run(t, dirty)
+	if res.Code != 1 {
+		t.Fatalf("dirty package: exit %d, want 1 (stderr: %s)", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "Undocumented") || !strings.Contains(res.Stderr, "missing doc comment") {
+		t.Fatalf("finding not reported: stdout %q stderr %q", res.Stdout, res.Stderr)
+	}
+
+	res = clitest.Run(t, filepath.Join(t.TempDir(), "does-not-exist", "..."))
+	if res.Code != 2 {
+		t.Fatalf("bad root: exit %d, want 2 (stderr: %s)", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stderr, "doclint:") {
+		t.Fatalf("bad root: stderr %q lacks diagnostic", res.Stderr)
+	}
+}

@@ -30,6 +30,11 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "random seed")
 	)
 	flag.Parse()
+	if err := validate(*workers, *m, *rho); err != nil {
+		fmt.Fprintf(os.Stderr, "gtopk-allreduce: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	fmt.Println(bench.Fig9(netsim.Paper1GbE()))
 	if *execute {
 		if err := executeReal(*workers, *m, *rho, *seed); err != nil {
@@ -37,6 +42,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// validate rejects invocation errors before any work starts. The
+// executed TopKAllReduce baseline gathers over a recursive-doubling
+// tree, so -workers must be a power of two >= 2.
+func validate(workers, m int, rho float64) error {
+	if workers < 2 || workers&(workers-1) != 0 {
+		return fmt.Errorf("-workers %d out of range: need a power of two >= 2", workers)
+	}
+	if m < 1 {
+		return fmt.Errorf("-m %d out of range: need >= 1", m)
+	}
+	if rho <= 0 || rho > 1 {
+		return fmt.Errorf("-rho %v out of range: need 0 < rho <= 1", rho)
+	}
+	return nil
 }
 
 func executeReal(p, m int, rho float64, seed uint64) error {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"gtopkssgd/internal/clitest"
+)
+
+func TestMain(m *testing.M) {
+	if clitest.InterceptMain() {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestFlagValidation: invocation errors exit 2 with usage before the
+// Fig. 9 table prints.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"non-pow2-workers", []string{"-workers", "3"}, "-workers 3 out of range: need a power of two"},
+		{"one-worker", []string{"-workers", "1"}, "-workers 1 out of range"},
+		{"zero-m", []string{"-m", "0"}, "-m 0 out of range"},
+		{"bad-rho", []string{"-rho", "0"}, "-rho 0 out of range"},
+		{"rho-above-one", []string{"-rho", "1.1"}, "-rho 1.1 out of range"},
+		{"unknown-flag", []string{"-nope"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := clitest.Run(t, tc.args...)
+			if res.Code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", res.Code, res.Stderr)
+			}
+			if !strings.Contains(res.Stderr, tc.stderr) {
+				t.Fatalf("stderr %q missing %q", res.Stderr, tc.stderr)
+			}
+			if strings.Contains(res.Stdout, "Fig 9") {
+				t.Fatal("invalid invocation still printed the Fig. 9 table")
+			}
+		})
+	}
+}
+
+// TestDefaultPrintsFig9: the analytic table costs nothing and must
+// succeed with default flags.
+func TestDefaultPrintsFig9(t *testing.T) {
+	res := clitest.Run(t)
+	if res.Code != 0 {
+		t.Fatalf("exit %d (stderr: %s)", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "Fig 9") {
+		t.Fatalf("stdout missing the Fig 9 table:\n%s", res.Stdout)
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 		noDelay = flag.Bool("tcp-nodelay", true, "enable TCP_NODELAY on the harness's loopback sockets (false re-enables Nagle)")
 		wire    = flag.String("wire", "v1", "sparse wire codec for the hotpath harness fabrics: v1, v2 or v2-fp16 (wire-codec sweeps all three regardless)")
 		shards  = flag.Int("select-shards", 0, "wire-codec experiment: override the sharded-selection sweep with {1, N} (0 keeps the default {1,2,4})")
+		hierG   = flag.Int("hier-group", 0, "hierarchy experiment: override the group-size sweep with {G} (0 keeps the default {4,8,16}; 1 is flat and therefore rejected)")
 	)
 	flag.Parse()
 
@@ -44,9 +45,15 @@ func main() {
 	if *shards < 0 {
 		usageError(fmt.Errorf("-select-shards %d out of range: need >= 0", *shards))
 	}
+	if *hierG < 0 || *hierG == 1 {
+		usageError(fmt.Errorf("-hier-group %d out of range: need 0 (default sweep) or >= 2", *hierG))
+	}
 	opt := bench.Options{
 		Quick: *quick, Seed: *seed, JSONPath: *jsonOut, TCPNagle: !*noDelay,
-		Wire: codec, SelectShards: *shards,
+		Wire: codec, SelectShards: *shards, HierGroup: *hierG,
+	}
+	if !*list && !*all && *expID == "" {
+		usageError(fmt.Errorf("one of -exp, -list or -all is required"))
 	}
 	if err := run(*expID, *list, *all, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "gtopk-bench:", err)
@@ -94,7 +101,7 @@ func run(expID string, list, all bool, opt bench.Options) error {
 		fmt.Println(out)
 		return nil
 	default:
-		flag.Usage()
+		// Unreachable: main rejects the empty mode with usageError.
 		return fmt.Errorf("one of -exp, -list or -all is required")
 	}
 }

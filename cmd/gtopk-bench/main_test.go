@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"gtopkssgd/internal/bench"
+	"gtopkssgd/internal/clitest"
+)
+
+func TestMain(m *testing.M) {
+	if clitest.InterceptMain() {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestFlagValidation: invocation errors exit 2 with usage.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"no-mode", nil, "one of -exp, -list or -all is required"},
+		{"bad-wire", []string{"-exp", "hotpath", "-wire", "v0"}, "-wire"},
+		{"bad-select-shards", []string{"-exp", "wire-codec", "-select-shards", "-1"}, "-select-shards -1 out of range"},
+		{"bad-hier-group-negative", []string{"-exp", "hierarchy", "-hier-group", "-3"}, "-hier-group -3 out of range"},
+		{"bad-hier-group-one", []string{"-exp", "hierarchy", "-hier-group", "1"}, "-hier-group 1 out of range"},
+		{"unknown-flag", []string{"-frobnicate"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := clitest.Run(t, tc.args...)
+			if res.Code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", res.Code, res.Stderr)
+			}
+			if !strings.Contains(res.Stderr, tc.stderr) {
+				t.Fatalf("stderr %q missing %q", res.Stderr, tc.stderr)
+			}
+		})
+	}
+}
+
+// TestUnknownExperimentListsSorted: an unknown -exp must exit 2 and
+// enumerate every registered experiment in sorted order — the listing
+// must not depend on registration order.
+func TestUnknownExperimentListsSorted(t *testing.T) {
+	res := clitest.Run(t, "-exp", "definitely-not-an-experiment")
+	if res.Code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stderr, `unknown experiment "definitely-not-an-experiment"`) {
+		t.Fatalf("stderr %q lacks the unknown-experiment diagnostic", res.Stderr)
+	}
+	var listed []string
+	for _, e := range bench.Experiments() {
+		if !strings.Contains(res.Stderr, e.ID) {
+			t.Fatalf("stderr does not list experiment %q", e.ID)
+		}
+		listed = append(listed, e.ID)
+	}
+	if !sort.StringsAreSorted(listed) {
+		t.Fatalf("bench.Experiments() not sorted: %v", listed)
+	}
+	// The inline "(try: ...)" hint must also be sorted.
+	tryIdx := strings.Index(res.Stderr, "(try: ")
+	if tryIdx < 0 {
+		t.Fatalf("stderr %q lacks the (try: ...) hint", res.Stderr)
+	}
+	hint := res.Stderr[tryIdx+len("(try: "):]
+	hint = hint[:strings.Index(hint, ")")]
+	ids := strings.Split(hint, ", ")
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("(try: ...) hint not sorted: %v", ids)
+	}
+	if len(ids) != len(bench.Experiments()) {
+		t.Fatalf("hint lists %d experiments, registry has %d", len(ids), len(bench.Experiments()))
+	}
+}
+
+// TestListEnumeratesExperiments: -list exits 0 and prints the catalogue,
+// hierarchy experiment included.
+func TestListEnumeratesExperiments(t *testing.T) {
+	res := clitest.Run(t, "-list")
+	if res.Code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", res.Code, res.Stderr)
+	}
+	for _, id := range []string{"hotpath", "wire-codec", "hierarchy", "fig9"} {
+		if !strings.Contains(res.Stdout, id) {
+			t.Fatalf("-list output missing %q:\n%s", id, res.Stdout)
+		}
+	}
+}

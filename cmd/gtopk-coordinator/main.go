@@ -40,17 +40,39 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress membership/epoch event log")
 	)
 	flag.Parse()
+	if err := validate(*listen, *world, *minWorld, *hbInterval, *hbTimeout); err != nil {
+		// Invocation errors exit 2 with usage; runtime failures exit 1.
+		fmt.Fprintf(os.Stderr, "gtopk-coordinator: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := run(*listen, *world, *minWorld, *hbInterval, *hbTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "gtopk-coordinator:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, world, minWorld int, hbInterval, hbTimeout time.Duration, quiet bool) error {
+// validate rejects nonsensical flag values before any socket is opened.
+func validate(listen string, world, minWorld int, hbInterval, hbTimeout time.Duration) error {
+	if listen == "" {
+		return fmt.Errorf("-listen must not be empty")
+	}
 	if world < 1 {
-		flag.Usage()
 		return fmt.Errorf("-world is required and must be >= 1 (got %d)", world)
 	}
+	if minWorld < 1 || minWorld > world {
+		return fmt.Errorf("-min-world %d out of range [1,%d]", minWorld, world)
+	}
+	if hbInterval <= 0 || hbTimeout <= 0 {
+		return fmt.Errorf("-hb-interval/-hb-timeout must be > 0 (got %v/%v)", hbInterval, hbTimeout)
+	}
+	if hbTimeout <= hbInterval {
+		return fmt.Errorf("-hb-timeout %v must exceed -hb-interval %v (a single late beat must not kill a worker)", hbTimeout, hbInterval)
+	}
+	return nil
+}
+
+func run(listen string, world, minWorld int, hbInterval, hbTimeout time.Duration, quiet bool) error {
 	logf := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds).Printf
 	if quiet {
 		logf = func(string, ...any) {}

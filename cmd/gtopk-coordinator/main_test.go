@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"gtopkssgd/internal/clitest"
+)
+
+func TestMain(m *testing.M) {
+	if clitest.InterceptMain() {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestFlagValidation: invocation errors exit 2 with usage before any
+// socket is opened.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"missing-world", nil, "-world is required"},
+		{"zero-world", []string{"-world", "0"}, "-world is required and must be >= 1"},
+		{"min-world-above-world", []string{"-world", "2", "-min-world", "3"}, "-min-world 3 out of range"},
+		{"zero-min-world", []string{"-world", "2", "-min-world", "0"}, "-min-world 0 out of range"},
+		{"empty-listen", []string{"-world", "2", "-listen", ""}, "-listen must not be empty"},
+		{"bad-hb-interval", []string{"-world", "2", "-hb-interval", "-1s"}, "must be > 0"},
+		{"hb-timeout-below-interval", []string{"-world", "2", "-hb-interval", "2s", "-hb-timeout", "1s"}, "must exceed -hb-interval"},
+		{"unknown-flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := clitest.Run(t, tc.args...)
+			if res.Code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", res.Code, res.Stderr)
+			}
+			if !strings.Contains(res.Stderr, tc.stderr) {
+				t.Fatalf("stderr %q missing %q", res.Stderr, tc.stderr)
+			}
+		})
+	}
+}

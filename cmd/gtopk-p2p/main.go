@@ -23,6 +23,11 @@ func main() {
 		real = flag.Bool("real", false, "also measure the loopback TCP fabric")
 	)
 	flag.Parse()
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "gtopk-p2p: -reps %d out of range: need >= 1\n\n", *reps)
+		flag.Usage()
+		os.Exit(2)
+	}
 	fmt.Println(bench.Fig8(netsim.Paper1GbE(), *reps, *seed))
 	if *real {
 		if err := measureTCP(); err != nil {

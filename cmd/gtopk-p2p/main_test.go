@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"gtopkssgd/internal/clitest"
+)
+
+func TestMain(m *testing.M) {
+	if clitest.InterceptMain() {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestFlagValidation: invocation errors exit 2 with usage.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"zero-reps", []string{"-reps", "0"}, "-reps 0 out of range"},
+		{"negative-reps", []string{"-reps", "-5"}, "-reps -5 out of range"},
+		{"unknown-flag", []string{"-zap"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := clitest.Run(t, tc.args...)
+			if res.Code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", res.Code, res.Stderr)
+			}
+			if !strings.Contains(res.Stderr, tc.stderr) {
+				t.Fatalf("stderr %q missing %q", res.Stderr, tc.stderr)
+			}
+		})
+	}
+}
+
+// TestDefaultPrintsFig8: the analytic reproduction with one sample per
+// size is instant and must succeed.
+func TestDefaultPrintsFig8(t *testing.T) {
+	res := clitest.Run(t, "-reps", "1")
+	if res.Code != 0 {
+		t.Fatalf("exit %d (stderr: %s)", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "Fig 8") {
+		t.Fatalf("stdout missing the Fig 8 table:\n%s", res.Stdout)
+	}
+}

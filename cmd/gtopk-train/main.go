@@ -14,28 +14,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 
 	"gtopkssgd/internal/bench"
 )
 
 func main() {
 	var (
-		model    = flag.String("model", "resnet20sim", "model: vgg16sim|resnet20sim|alexnetsim|resnet50sim|lstm|mlp")
-		algo     = flag.String("algo", "gtopk", "algorithm: dense|topk|gtopk|gtopk-naive|gtopk-ps|gtopk-layerwise|gtopk-bucketed")
-		workers  = flag.Int("workers", 4, "number of simulated workers (power of two for gtopk)")
-		batch    = flag.Int("batch", 16, "mini-batch size per worker")
-		epochs   = flag.Int("epochs", 8, "number of epochs")
-		iters    = flag.Int("iters", 20, "iterations per epoch")
-		density  = flag.Float64("density", 0.001, "gradient density rho")
-		warmup   = flag.Bool("warmup", false, "use the paper's warmup density schedule")
-		lr       = flag.Float64("lr", 0.05, "learning rate")
-		momentum = flag.Float64("momentum", 0.9, "momentum coefficient")
-		clip     = flag.Float64("clip", 0, "per-element gradient clip (0 disables)")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		evalN    = flag.Int("eval", 0, "held-out eval batches after training (0 disables)")
+		model     = flag.String("model", "resnet20sim", "model: vgg16sim|resnet20sim|alexnetsim|resnet50sim|lstm|mlp")
+		algo      = flag.String("algo", "gtopk", "algorithm: dense|topk|gtopk|gtopk-hier|gtopk-naive|gtopk-ps|gtopk-layerwise|gtopk-bucketed|signsgd|terngrad|gtopk-quant8")
+		workers   = flag.Int("workers", 4, "number of simulated workers (power of two for gtopk)")
+		batch     = flag.Int("batch", 16, "mini-batch size per worker")
+		epochs    = flag.Int("epochs", 8, "number of epochs")
+		iters     = flag.Int("iters", 20, "iterations per epoch")
+		density   = flag.Float64("density", 0.001, "gradient density rho")
+		warmup    = flag.Bool("warmup", false, "use the paper's warmup density schedule")
+		lr        = flag.Float64("lr", 0.05, "learning rate")
+		momentum  = flag.Float64("momentum", 0.9, "momentum coefficient")
+		clip      = flag.Float64("clip", 0, "per-element gradient clip (0 disables)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		evalN     = flag.Int("eval", 0, "held-out eval batches after training (0 disables)")
+		hierGroup = flag.Int("hier-group", 0, "gtopk-hier group size G (0 picks the default of 4)")
 	)
 	flag.Parse()
 
+	if err := validate(*model, *algo, *workers, *batch, *epochs, *iters, *density, *lr, *evalN, *hierGroup); err != nil {
+		fmt.Fprintf(os.Stderr, "gtopk-train: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	spec := bench.TrainSpec{
 		Model:         *model,
 		Algo:          *algo,
@@ -49,6 +57,7 @@ func main() {
 		GradClip:      float32(*clip),
 		Seed:          *seed,
 		EvalBatches:   *evalN,
+		HierGroup:     *hierGroup,
 	}
 	if *warmup {
 		spec.WarmupDensities = bench.PaperWarmup()
@@ -57,6 +66,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gtopk-train:", err)
 		os.Exit(1)
 	}
+}
+
+// validate rejects invocation errors up front (exit 2 with usage)
+// instead of surfacing them as a late runtime failure.
+func validate(model, algo string, workers, batch, epochs, iters int, density, lr float64, evalN, hierGroup int) error {
+	if !slices.Contains(bench.Models(), model) {
+		return fmt.Errorf("unknown -model %q (want %s)", model, strings.Join(bench.Models(), ", "))
+	}
+	if !slices.Contains(bench.Algos(), algo) {
+		return fmt.Errorf("unknown -algo %q (want %s)", algo, strings.Join(bench.Algos(), ", "))
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers %d out of range: need >= 1", workers)
+	}
+	if batch < 1 {
+		return fmt.Errorf("-batch %d out of range: need >= 1", batch)
+	}
+	if epochs < 1 || iters < 1 {
+		return fmt.Errorf("-epochs/-iters must be >= 1 (got %d/%d)", epochs, iters)
+	}
+	if algo != "dense" && (density <= 0 || density > 1) {
+		return fmt.Errorf("-density %v out of range: need 0 < rho <= 1", density)
+	}
+	if lr <= 0 {
+		return fmt.Errorf("-lr %v out of range: need > 0", lr)
+	}
+	if evalN < 0 {
+		return fmt.Errorf("-eval %d out of range: need >= 0", evalN)
+	}
+	if hierGroup < 0 {
+		return fmt.Errorf("-hier-group %d out of range: need >= 0", hierGroup)
+	}
+	if hierGroup > 0 && algo != "gtopk-hier" {
+		return fmt.Errorf("-hier-group requires -algo gtopk-hier")
+	}
+	return nil
 }
 
 func run(spec bench.TrainSpec) error {

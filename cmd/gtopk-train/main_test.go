@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"gtopkssgd/internal/clitest"
+)
+
+func TestMain(m *testing.M) {
+	if clitest.InterceptMain() {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestFlagValidation: invocation errors exit 2 with usage before any
+// training starts.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"bad-model", []string{"-model", "gpt5"}, `unknown -model "gpt5"`},
+		{"bad-algo", []string{"-algo", "magic"}, `unknown -algo "magic"`},
+		{"zero-workers", []string{"-workers", "0"}, "-workers 0 out of range"},
+		{"zero-batch", []string{"-batch", "0"}, "-batch 0 out of range"},
+		{"zero-epochs", []string{"-epochs", "0"}, "-epochs/-iters must be >= 1"},
+		{"zero-iters", []string{"-iters", "0"}, "-epochs/-iters must be >= 1"},
+		{"bad-density", []string{"-density", "2"}, "-density 2 out of range"},
+		{"bad-lr", []string{"-lr", "0"}, "-lr 0 out of range"},
+		{"bad-eval", []string{"-eval", "-1"}, "-eval -1 out of range"},
+		{"bad-hier-group", []string{"-hier-group", "-2"}, "-hier-group -2 out of range"},
+		{"hier-group-needs-hier-algo", []string{"-algo", "gtopk", "-hier-group", "4"}, "-hier-group requires -algo gtopk-hier"},
+		{"unknown-flag", []string{"-warp-speed"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := clitest.Run(t, tc.args...)
+			if res.Code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", res.Code, res.Stderr)
+			}
+			if !strings.Contains(res.Stderr, tc.stderr) {
+				t.Fatalf("stderr %q missing %q", res.Stderr, tc.stderr)
+			}
+			if !strings.Contains(res.Stderr, "Usage") {
+				t.Fatalf("stderr lacks usage text: %q", res.Stderr)
+			}
+		})
+	}
+}
+
+// TestHierarchicalTrainingSmoke: a tiny gtopk-hier run completes and
+// reports its loss curve — the -hier-group flag reaches the aggregator.
+func TestHierarchicalTrainingSmoke(t *testing.T) {
+	res := clitest.Run(t, "-model", "mlp", "-algo", "gtopk-hier", "-hier-group", "2",
+		"-workers", "4", "-epochs", "1", "-iters", "2", "-batch", "2", "-density", "0.05")
+	if res.Code != 0 {
+		t.Fatalf("exit %d (stderr: %s)", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "algo=gtopk-hier") || !strings.Contains(res.Stdout, "epoch   1") {
+		t.Fatalf("stdout missing training output:\n%s", res.Stdout)
+	}
+}

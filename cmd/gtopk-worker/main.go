@@ -74,6 +74,7 @@ type options struct {
 	tcpNoDelay   bool
 	wire         string
 	selectShards int
+	hierGroup    int
 
 	// wireCodec is the parsed -wire flag.
 	wireCodec sparse.Codec
@@ -110,6 +111,7 @@ func main() {
 	flag.BoolVar(&o.tcpNoDelay, "tcp-nodelay", true, "enable TCP_NODELAY on mesh sockets (false re-enables Nagle's algorithm)")
 	flag.StringVar(&o.wire, "wire", "v2", "sparse wire codec: v1 (flat), v2 (delta/varint, lossless) or v2-fp16 (half-precision values); meshes settle on the lowest version any worker offers")
 	flag.IntVar(&o.selectShards, "select-shards", 0, "parallel shards for the local top-k selection (0 = one per core, 1 = serial; results are bit-identical)")
+	flag.IntVar(&o.hierGroup, "hier-group", 0, "hierarchical gTop-k group size G: workers aggregate within groups of G, leaders exchange globally (0 disables; requires -algo gtopk; G >= world degenerates to the flat tree)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -159,6 +161,12 @@ func (o *options) validate() error {
 	o.wireCodec = codec
 	if o.selectShards < 0 {
 		return fmt.Errorf("-select-shards %d out of range: need >= 0", o.selectShards)
+	}
+	if o.hierGroup < 0 {
+		return fmt.Errorf("-hier-group %d out of range: need >= 0", o.hierGroup)
+	}
+	if o.hierGroup > 0 && o.algo != "gtopk" {
+		return fmt.Errorf("-hier-group requires -algo gtopk (hierarchical aggregation is a gTop-k topology)")
 	}
 
 	if o.coordinator != "" {
@@ -225,6 +233,15 @@ func buildAggregator(o *options, comm *collective.Comm, dim int) (agg core.Aggre
 		sp.SetShards(o.selectShards)
 		return a, sp, nil
 	case "gtopk":
+		if o.hierGroup > 0 {
+			a, err := core.NewHierarchicalAggregator(comm, dim, k, o.hierGroup)
+			if err != nil {
+				return nil, nil, err
+			}
+			sp = a.Sparsifier()
+			sp.SetShards(o.selectShards)
+			return a, sp, nil
+		}
 		a, err := core.NewGTopKAggregator(comm, dim, k)
 		if err != nil {
 			return nil, nil, err

@@ -155,3 +155,71 @@ func TestPublicMultiProcessWorkerAPI(t *testing.T) {
 		t.Fatalf("size = %d", conn.Size())
 	}
 }
+
+// TestPublicHierarchicalSurface drives the hierarchical collective and
+// aggregator through the facade: the G=P degenerate must match
+// GTopKAllReduce bit for bit, and the real two-level regime must keep
+// replicas identical.
+func TestPublicHierarchicalSurface(t *testing.T) {
+	const p, g, dim, k = 4, 2, 100, 5
+	fabric, err := NewInProcFabric(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+
+	locals := make([]*Vector, p)
+	for r := range locals {
+		src := prng.New(uint64(r + 50))
+		grad := make([]float32, dim)
+		for i := range grad {
+			grad[i] = float32(src.NormFloat64())
+		}
+		locals[r] = TopKSelect(grad, k)
+	}
+
+	run := func(group int) []*Vector {
+		out := make([]*Vector, p)
+		errs := make([]error, p)
+		done := make(chan struct{}, p)
+		for r := 0; r < p; r++ {
+			go func(rank int) {
+				defer func() { done <- struct{}{} }()
+				comm := NewComm(fabric.Conn(rank))
+				out[rank], errs[rank] = HierarchicalGTopKAllReduce(
+					context.Background(), comm, locals[rank].Clone(), k, group)
+			}(r)
+		}
+		for i := 0; i < p; i++ {
+			<-done
+		}
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("group %d rank %d: %v", group, r, err)
+			}
+		}
+		return out
+	}
+
+	flatEquiv := run(p) // degenerate: bit-identical to the flat tree
+	hier := run(g)
+	for r := 1; r < p; r++ {
+		for _, set := range [][]*Vector{flatEquiv, hier} {
+			if set[r].NNZ() != set[0].NNZ() {
+				t.Fatalf("rank %d disagrees on nnz", r)
+			}
+			for i := range set[0].Indices {
+				if set[r].Indices[i] != set[0].Indices[i] || set[r].Values[i] != set[0].Values[i] {
+					t.Fatalf("rank %d entry %d diverged", r, i)
+				}
+			}
+		}
+	}
+
+	if _, err := NewHierarchicalAggregator(NewComm(fabric.Conn(0)), dim, k, 0); err == nil {
+		t.Fatal("group 0 accepted")
+	}
+	if _, err := NewHierarchicalBucketedAggregator(NewComm(fabric.Conn(0)), []int{0, dim}, 0.05, 0); err == nil {
+		t.Fatal("bucketed group 0 accepted")
+	}
+}

@@ -93,6 +93,15 @@ type (
 	// BucketStreamer is the streaming aggregation contract implemented by
 	// BucketedAggregator (Begin / Ready / Finish per iteration).
 	BucketStreamer = core.BucketStreamer
+	// GroupComms is the member/leader communicator pair of a group
+	// hierarchy (Comm.ForkGroup) — what HierarchicalGTopKAllReduce runs
+	// over.
+	GroupComms = collective.GroupComms
+	// HierarchicalAggregator runs gTop-k S-SGD over the two-level
+	// hierarchical collective: intra-group gTop-k, a leader-level
+	// exchange across groups, and a broadcast back down.
+	HierarchicalAggregator = core.HierarchicalAggregator
+
 	// BucketedAggregator runs gTop-k per layer-aligned bucket with
 	// bucket collectives overlapping each other and the backward pass.
 	BucketedAggregator = core.BucketedAggregator
@@ -228,6 +237,15 @@ func NaiveGTopKAllReduce(ctx context.Context, comm *Comm, local *Vector, k int) 
 	return core.NaiveGTopKAllReduce(ctx, comm, local, k)
 }
 
+// HierarchicalGTopKAllReduce runs the two-level hierarchical gTop-k for
+// large worlds: groups of g ranks aggregate internally with the tree
+// collective, group leaders run a second gTop-k over the g-fold smaller
+// leader world, and the global top-k broadcasts back down through the
+// leaders. g <= 1 or g >= world is bit-identical to GTopKAllReduce.
+func HierarchicalGTopKAllReduce(ctx context.Context, comm *Comm, local *Vector, k, g int) (*Vector, error) {
+	return core.HierarchicalGTopKAllReduce(ctx, comm, local, k, g)
+}
+
 // PSGTopKAllReduce computes the global top-k through a parameter-server
 // star topology (works for any P; scales worse than the tree).
 func PSGTopKAllReduce(ctx context.Context, comm *Comm, local *Vector, k int) (*Vector, error) {
@@ -275,6 +293,22 @@ func NewPSGTopKAggregator(comm *Comm, dim, k int) (Aggregator, error) {
 // StreamGradFn on the trainer to also overlap with the backward pass.
 func NewBucketedAggregator(comm *Comm, bounds []int, density float64) (*BucketedAggregator, error) {
 	return core.NewBucketedAggregator(comm, bounds, density)
+}
+
+// NewHierarchicalAggregator builds a gTop-k aggregator whose global
+// exchange runs the two-level hierarchical collective over groups of
+// `group` ranks (see HierarchicalGTopKAllReduce). Replica updates stay
+// bit-identical across ranks; group >= world degenerates to
+// NewGTopKAggregator, bit for bit.
+func NewHierarchicalAggregator(comm *Comm, dim, k, group int) (*HierarchicalAggregator, error) {
+	return core.NewHierarchicalAggregator(comm, dim, k, group)
+}
+
+// NewHierarchicalBucketedAggregator is NewBucketedAggregator with every
+// bucket's collective replaced by the two-level hierarchical gTop-k
+// over groups of `group` ranks.
+func NewHierarchicalBucketedAggregator(comm *Comm, bounds []int, density float64, group int) (*BucketedAggregator, error) {
+	return core.NewHierarchicalBucketedAggregator(comm, bounds, density, group)
 }
 
 // GroupBounds coalesces per-layer cumulative offsets into at most n

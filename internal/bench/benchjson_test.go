@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// benchArtifactPath locates the checked-in BENCH_gtopk.json at the repo
+// root (this package lives at internal/bench).
+func benchArtifactPath() string {
+	return filepath.Join("..", "..", "BENCH_gtopk.json")
+}
+
+// TestBenchArtifactSchema is the regeneration guard: the committed
+// BENCH_gtopk.json is rewritten by three different experiments (hotpath,
+// wire-codec, hierarchy), each of which must preserve the others'
+// sections — this test fails the build if any known section has been
+// silently dropped or emptied by a regeneration.
+func TestBenchArtifactSchema(t *testing.T) {
+	report, err := loadHotPathReport(benchArtifactPath())
+	if err != nil {
+		t.Fatalf("checked-in artifact unreadable: %v", err)
+	}
+	if report.Schema != "gtopk-hotpath-bench/v1" {
+		t.Fatalf("schema %q, want gtopk-hotpath-bench/v1", report.Schema)
+	}
+	if report.Dim <= 0 || report.Seed == 0 || report.GoVersion == "" {
+		t.Fatalf("environment stamp incomplete: dim=%d seed=%d go=%q", report.Dim, report.Seed, report.GoVersion)
+	}
+
+	// hotpath section: recorded baseline plus live measurements with
+	// speedups against it.
+	if report.Baseline.Commit == "" || len(report.Baseline.Results) == 0 {
+		t.Fatal("hotpath baseline section missing or empty")
+	}
+	if len(report.Current.Results) == 0 {
+		t.Fatal("hotpath current section empty")
+	}
+	if len(report.Speedups) == 0 {
+		t.Fatal("hotpath speedups section empty")
+	}
+	for _, r := range append(append([]HotPathResult(nil), report.Baseline.Results...), report.Current.Results...) {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("malformed hotpath result %+v", r)
+		}
+	}
+
+	// wire_codec section: the codec sweep and the sharded-selection
+	// scaling rows.
+	wc := report.WireCodec
+	if wc == nil {
+		t.Fatal("wire_codec section missing (a regeneration dropped it)")
+	}
+	if wc.Dim <= 0 || len(wc.Codec) == 0 || len(wc.Selection) == 0 {
+		t.Fatalf("wire_codec section malformed: dim=%d codec=%d selection=%d", wc.Dim, len(wc.Codec), len(wc.Selection))
+	}
+	for _, c := range wc.Codec {
+		if c.Name == "" || c.Codec == "" || c.WireBytesPerRank <= 0 || c.BytesReduction <= 0 {
+			t.Fatalf("malformed wire_codec row %+v", c)
+		}
+	}
+
+	// hierarchy section: the flat-vs-hierarchical sweep with per-(G,rho)
+	// crossovers.
+	h := report.Hierarchy
+	if h == nil {
+		t.Fatal("hierarchy section missing (a regeneration dropped it)")
+	}
+	if h.Dim <= 0 || h.AlphaUS <= 0 || h.BetaNS <= 0 || h.SyncGamma <= 0 {
+		t.Fatalf("hierarchy model stamp malformed: %+v", h)
+	}
+	if len(h.Sweep) == 0 || len(h.Crossovers) == 0 {
+		t.Fatalf("hierarchy sweep/crossovers empty: %d/%d", len(h.Sweep), len(h.Crossovers))
+	}
+	seen := map[[2]interface{}]bool{}
+	for _, r := range h.Sweep {
+		if r.P < 2 || r.G < 2 || r.G >= r.P || r.K < 1 {
+			t.Fatalf("malformed hierarchy cell %+v", r)
+		}
+		if r.FlatUS <= 0 || r.HierUS <= 0 || r.ModelFlatUS <= 0 || r.ModelHierUS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("hierarchy cell with non-positive timings %+v", r)
+		}
+		seen[[2]interface{}{r.G, r.Rho}] = true
+	}
+	crossAt64 := false
+	for _, c := range h.Crossovers {
+		if !seen[[2]interface{}{c.G, c.Rho}] {
+			t.Fatalf("crossover for unswept configuration %+v", c)
+		}
+		if c.CrossP != 0 && c.CrossP < 64 {
+			t.Fatalf("crossover %+v below P=64 — the hierarchy should not win small worlds under the committed constants", c)
+		}
+		if c.CrossP == 64 {
+			crossAt64 = true
+		}
+	}
+	if !crossAt64 {
+		t.Fatal("no (G, rho) crossover at P=64 recorded — the committed sweep must show the P>=64 regime opening")
+	}
+}

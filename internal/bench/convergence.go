@@ -44,6 +44,9 @@ type TrainSpec struct {
 	// DisablePutBack turns off Algorithm 4 line 10 for the residual
 	// ablation (gtopk only).
 	DisablePutBack bool
+	// HierGroup is the group size of the gtopk-hier algorithm (0 picks
+	// the default of 4; ignored by every other algorithm).
+	HierGroup int
 }
 
 // Validate rejects malformed specifications.
@@ -67,6 +70,20 @@ type TrainCurve struct {
 
 // PaperWarmup returns the paper's warmup density schedule.
 func PaperWarmup() []float64 { return []float64{0.25, 0.0725, 0.015, 0.004} }
+
+// Models lists the model names RunTraining accepts — the authoritative
+// registry CLI validation must consult (the switch in RunTraining is
+// its implementation).
+func Models() []string {
+	return []string{"vgg16sim", "resnet20sim", "alexnetsim", "resnet50sim", "lstm", "mlp"}
+}
+
+// Algos lists the algorithm names buildAggregator accepts — the
+// authoritative registry CLI validation must consult.
+func Algos() []string {
+	return []string{"dense", "topk", "gtopk", "gtopk-hier", "gtopk-naive", "gtopk-ps",
+		"gtopk-layerwise", "gtopk-bucketed", "signsgd", "terngrad", "gtopk-quant8"}
+}
 
 // RunTraining executes the distributed training run described by spec and
 // returns its loss (and optionally accuracy) curves.
@@ -202,6 +219,22 @@ func buildAggregator(spec TrainSpec, comm *collective.Comm, dim int, bounds []in
 		return agg, nil
 	case "gtopk":
 		agg, err := core.NewGTopKAggregator(comm, dim, k)
+		if err != nil {
+			return nil, err
+		}
+		if schedule != nil {
+			agg.SetSchedule(schedule)
+		}
+		if spec.DisablePutBack {
+			agg.SetPutBack(false)
+		}
+		return agg, nil
+	case "gtopk-hier":
+		group := spec.HierGroup
+		if group == 0 {
+			group = 4
+		}
+		agg, err := core.NewHierarchicalAggregator(comm, dim, k, group)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/metrics"
+	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/transport"
+)
+
+// This file is the hierarchy experiment: it runs the REAL flat and
+// two-level hierarchical gTop-k collectives on an in-process fabric
+// across P ∈ {16..256} × G ∈ {4,8,16} × ρ ∈ {0.001, 0.01}, charges both
+// with the paper's 1 GbE α-β constants plus a shared synchronization-
+// skew factor (netsim.Model.SyncGamma — world-sized rounds pay for
+// world-sized straggler ensembles), verifies replica agreement on every
+// configuration, and records the flat-vs-hierarchical crossover into
+// the `hierarchy` section of BENCH_gtopk.json.
+
+// hierarchyDim is the dense dimension of the hierarchy sweep: ρ=0.001
+// gives the paper-scale k≈1049 payloads at 2^20 parameters.
+const hierarchyDim = 1 << 20
+
+// hierarchyQuickDim shrinks the smoke-test profile.
+const hierarchyQuickDim = 1 << 16
+
+// HierarchyResult is one (P, G, ρ) cell of the sweep. Times are
+// simulated microseconds — the maximum over ranks of the α-β clock, the
+// job's critical path.
+type HierarchyResult struct {
+	P   int     `json:"p"`
+	G   int     `json:"g"`
+	Rho float64 `json:"rho"`
+	K   int     `json:"k"`
+	// FlatUS/HierUS are measured on the real collectives (in-process
+	// fabric, simulated clock); ModelFlatUS/ModelHierUS are the
+	// closed-form netsim predictions for the same configuration.
+	FlatUS      int64   `json:"flat_us"`
+	HierUS      int64   `json:"hier_us"`
+	ModelFlatUS int64   `json:"model_flat_us"`
+	ModelHierUS int64   `json:"model_hier_us"`
+	Speedup     float64 `json:"speedup"` // flat / hierarchical (>1: hierarchy wins)
+}
+
+// HierarchyCrossover records, per (G, ρ), the smallest swept P at which
+// the hierarchical collective beats the flat tree (0 when it never
+// does within the sweep).
+type HierarchyCrossover struct {
+	G      int     `json:"g"`
+	Rho    float64 `json:"rho"`
+	CrossP int     `json:"cross_p"`
+}
+
+// HierarchySection is the hierarchy section of BENCH_gtopk.json.
+type HierarchySection struct {
+	Dim        int                  `json:"dim"`
+	AlphaUS    float64              `json:"alpha_us"`
+	BetaNS     float64              `json:"beta_ns"`
+	SyncGamma  float64              `json:"sync_gamma"`
+	Sweep      []HierarchyResult    `json:"sweep"`
+	Crossovers []HierarchyCrossover `json:"crossovers"`
+}
+
+// hierarchyVectors builds deterministic per-rank top-k inputs for both
+// sweep densities without ever holding more than one dense gradient.
+func hierarchyVectors(seed uint64, p, dim int, ks []int) [][]*sparse.Vector {
+	vecs := make([][]*sparse.Vector, len(ks))
+	for i := range vecs {
+		vecs[i] = make([]*sparse.Vector, p)
+	}
+	g := make([]float32, dim)
+	for r := 0; r < p; r++ {
+		src := prng.New(seed + uint64(r)*1000)
+		for i := range g {
+			g[i] = float32(src.NormFloat64())
+		}
+		for i, k := range ks {
+			vecs[i][r] = sparse.TopK(g, k)
+		}
+	}
+	return vecs
+}
+
+// runHierarchyConfig executes one configuration (flat when g <= 1) on a
+// fresh in-process fabric, checks replica agreement, and returns the
+// maximum simulated time across ranks.
+func runHierarchyConfig(model netsim.Model, vecs []*sparse.Vector, k, g int) (time.Duration, error) {
+	p := len(vecs)
+	fab, err := transport.NewInProc(p)
+	if err != nil {
+		return 0, err
+	}
+	defer fab.Close()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		slowest time.Duration
+		results = make([]*sparse.Vector, p)
+		errs    = make([]error, p)
+	)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var clock netsim.Clock
+			comm := collective.New(fab.Conn(rank)).WithClock(&clock, model)
+			var res *sparse.Vector
+			var err error
+			if g <= 1 {
+				res, err = core.GTopKAllReduce(context.Background(), comm, vecs[rank].Clone(), k)
+			} else {
+				res, err = core.HierarchicalGTopKAllReduce(context.Background(), comm, vecs[rank].Clone(), k, g)
+			}
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			results[rank] = res
+			mu.Lock()
+			if clock.Now() > slowest {
+				slowest = clock.Now()
+			}
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("rank %d: %w", rank, err)
+		}
+	}
+	for r := 1; r < p; r++ {
+		if !vectorsEqualBits(results[0], results[r]) {
+			return 0, fmt.Errorf("replicas diverged: rank %d != rank 0 (P=%d, G=%d)", r, p, g)
+		}
+	}
+	return slowest, nil
+}
+
+// vectorsEqualBits compares two sparse vectors bit for bit.
+func vectorsEqualBits(a, b *sparse.Vector) bool {
+	if a.Dim != b.Dim || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] || math.Float32bits(a.Values[i]) != math.Float32bits(b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hierarchy runs the sweep and returns the rendered table plus the
+// section. Quick mode shrinks to two worker counts, one group size and
+// one density.
+func Hierarchy(_ context.Context, opt Options) (string, *HierarchySection, error) {
+	dim := hierarchyDim
+	workers := []int{16, 32, 64, 128, 256}
+	groups := []int{4, 8, 16}
+	densities := []float64{0.001, 0.01}
+	if opt.Quick {
+		dim = hierarchyQuickDim
+		workers = []int{16, 64}
+		groups = []int{4}
+		densities = []float64{0.001}
+	}
+	if opt.HierGroup > 1 {
+		groups = []int{opt.HierGroup}
+	}
+	model := netsim.Paper1GbE().WithSyncSkew(netsim.DefaultSyncGamma)
+
+	section := &HierarchySection{
+		Dim:       dim,
+		AlphaUS:   float64(model.Alpha) / float64(time.Microsecond),
+		BetaNS:    float64(model.Beta) / float64(time.Nanosecond),
+		SyncGamma: model.SyncGamma,
+	}
+
+	ks := make([]int, len(densities))
+	for i, rho := range densities {
+		ks[i] = core.DensityToK(dim, rho)
+	}
+
+	for _, p := range workers {
+		vecs := hierarchyVectors(opt.seed(), p, dim, ks)
+		for di, rho := range densities {
+			k := ks[di]
+			flat, err := runHierarchyConfig(model, vecs[di], k, 1)
+			if err != nil {
+				return "", nil, fmt.Errorf("flat P=%d rho=%g: %w", p, rho, err)
+			}
+			for _, g := range groups {
+				if g >= p {
+					continue
+				}
+				hier, err := runHierarchyConfig(model, vecs[di], k, g)
+				if err != nil {
+					return "", nil, fmt.Errorf("hier P=%d G=%d rho=%g: %w", p, g, rho, err)
+				}
+				section.Sweep = append(section.Sweep, HierarchyResult{
+					P: p, G: g, Rho: rho, K: k,
+					FlatUS:      flat.Microseconds(),
+					HierUS:      hier.Microseconds(),
+					ModelFlatUS: model.GTopKTree(p, k).Microseconds(),
+					ModelHierUS: model.HierGTopK(p, g, k).Microseconds(),
+					Speedup:     float64(flat) / float64(hier),
+				})
+			}
+		}
+	}
+
+	// Crossovers: smallest swept P where the hierarchy wins, per (G, ρ).
+	for _, g := range groups {
+		for _, rho := range densities {
+			cross := 0
+			for _, r := range section.Sweep {
+				if r.G == g && r.Rho == rho && r.HierUS < r.FlatUS {
+					cross = r.P
+					break
+				}
+			}
+			section.Crossovers = append(section.Crossovers, HierarchyCrossover{G: g, Rho: rho, CrossP: cross})
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Hierarchy: two-level gTop-k vs flat tree (real collectives, simulated 1GbE)\n")
+	fmt.Fprintf(&sb, "dim=%d, alpha=%.0fus, beta=%.1fns/elem, sync skew gamma=%.2f; times are the\nslowest rank's simulated clock (replica agreement verified per cell)\n\n",
+		section.Dim, section.AlphaUS, section.BetaNS, section.SyncGamma)
+	tb := metrics.NewTable("P", "G", "rho", "k", "flat", "hier", "speedup", "model flat", "model hier")
+	for _, r := range section.Sweep {
+		tb.AddRow(fmt.Sprint(r.P), fmt.Sprint(r.G), fmt.Sprintf("%g", r.Rho), fmt.Sprint(r.K),
+			fmt.Sprintf("%.2fms", float64(r.FlatUS)/1000), fmt.Sprintf("%.2fms", float64(r.HierUS)/1000),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2fms", float64(r.ModelFlatUS)/1000), fmt.Sprintf("%.2fms", float64(r.ModelHierUS)/1000))
+	}
+	sb.WriteString(tb.String())
+	sb.WriteString("\nCrossover (smallest P where the hierarchy wins):\n")
+	for _, c := range section.Crossovers {
+		if c.CrossP == 0 {
+			fmt.Fprintf(&sb, "  G=%-3d rho=%-6g none (flat wins across the sweep)\n", c.G, c.Rho)
+		} else {
+			fmt.Fprintf(&sb, "  G=%-3d rho=%-6g P>=%d\n", c.G, c.Rho, c.CrossP)
+		}
+	}
+	sb.WriteString("\nThe hierarchy pays ceil(log2 G) extra broadcast rounds (every member holds\nits group aggregate — the leader-failure story) and buys group-sized\nsynchronization domains; it wins where alpha-skew dominates (low rho,\nlarge P) and loses where the extra payload volume does (rho=0.01).\n")
+	return sb.String(), section, nil
+}
+
+// WriteHierarchyJSON runs the sweep and folds the hierarchy section into
+// BENCH_gtopk.json (or opt.JSONPath), preserving the other experiments'
+// sections.
+func WriteHierarchyJSON(ctx context.Context, opt Options) (string, error) {
+	out, section, err := Hierarchy(ctx, opt)
+	if err != nil {
+		return "", err
+	}
+	path := opt.JSONPath
+	if path == "" {
+		path = "BENCH_gtopk.json"
+	}
+	report, err := loadHotPathReport(path)
+	if err != nil {
+		// No (or unreadable) artifact: start a minimal report carrying
+		// just this section plus the environment stamp.
+		report = &hotPathReport{
+			Schema:      "gtopk-hotpath-bench/v1",
+			GeneratedBy: "gtopk-bench -exp hierarchy",
+			Seed:        opt.seed(),
+			Dim:         hotPathDim,
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+		}
+		report.Baseline.Commit = baselineCommit
+		report.Baseline.Results = baselineHotPath
+	}
+	report.Hierarchy = section
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return out + fmt.Sprintf("\nwrote %s (%d sweep cells)\n", path, len(section.Sweep)), nil
+}

@@ -81,6 +81,9 @@ type hotPathReport struct {
 	// WireCodec is the v2-codec + sharded-selection section maintained by
 	// the wire-codec experiment; the hotpath experiment preserves it.
 	WireCodec *WireCodecSection `json:"wire_codec,omitempty"`
+	// Hierarchy is the flat-vs-hierarchical crossover sweep maintained
+	// by the hierarchy experiment; the other experiments preserve it.
+	Hierarchy *HierarchySection `json:"hierarchy,omitempty"`
 }
 
 // loadHotPathReport parses an existing BENCH_gtopk.json so one
@@ -424,10 +427,12 @@ func WriteHotPathJSON(ctx context.Context, opt Options) (string, error) {
 	if path == "" {
 		path = "BENCH_gtopk.json"
 	}
-	// Preserve the wire-codec experiment's section across hotpath
-	// regenerations (and vice versa — the two share the artifact).
-	if prev, err := loadHotPathReport(path); err == nil && prev.WireCodec != nil {
+	// Preserve the other experiments' sections across hotpath
+	// regenerations (and vice versa — the experiments share the
+	// artifact).
+	if prev, err := loadHotPathReport(path); err == nil {
 		report.WireCodec = prev.WireCodec
+		report.Hierarchy = prev.Hierarchy
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -35,6 +35,9 @@ type Options struct {
 	// SelectShards, when > 0, overrides the wire-codec experiment's
 	// sharded-selection sweep with {1, SelectShards}.
 	SelectShards int
+	// HierGroup, when > 1, overrides the hierarchy experiment's group
+	// sweep with just {HierGroup}.
+	HierGroup int
 }
 
 // wire returns the configured hotpath codec, defaulting to v1.
@@ -191,6 +194,11 @@ func Experiments() []Experiment {
 			Description: "Hot path: v1/v2/v2-fp16 wire-byte reduction + sharded selection scaling; updates BENCH_gtopk.json",
 			Run:         WriteWireCodecJSON,
 		},
+		{
+			ID:          "hierarchy",
+			Description: "Extension: two-level hierarchical gTop-k vs flat tree crossover sweep; updates BENCH_gtopk.json",
+			Run:         WriteHierarchyJSON,
+		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps
@@ -206,11 +214,14 @@ func Lookup(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (try: %s)", id, strings.Join(ids(), ", "))
 }
 
+// ids returns every experiment ID in sorted order — the listing the
+// unknown -exp error prints must not depend on registration order.
 func ids() []string {
 	var out []string
 	for _, e := range Experiments() {
 		out = append(out, e.ID)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,71 @@
+// Package clitest re-executes a test binary as the command under test,
+// so every cmd/ package can smoke-test its own main — flag validation,
+// exit codes, usage output — without building binaries or refactoring
+// main into a library. The pattern: the package's TestMain calls
+// InterceptMain() first; when it returns true the process is a child
+// spawned by Run and must invoke the real main().
+//
+//	func TestMain(m *testing.M) {
+//		if clitest.InterceptMain() {
+//			main()
+//			os.Exit(0)
+//		}
+//		os.Exit(m.Run())
+//	}
+package clitest
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// envKey marks a child process as the command under test.
+const envKey = "GTOPK_CLI_UNDER_TEST"
+
+// InterceptMain reports whether this process was spawned by Run and
+// should execute the package's main() instead of the test runner.
+func InterceptMain() bool { return os.Getenv(envKey) == "1" }
+
+// Result captures one CLI invocation.
+type Result struct {
+	Stdout string
+	Stderr string
+	Code   int
+}
+
+// Run re-executes the current test binary with the given command-line
+// arguments and the under-test marker set, returning its output and
+// exit code. The child is killed after 30 seconds — smoke tests
+// exercise flag validation, not training runs.
+func Run(t *testing.T, args ...string) Result {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), envKey+"=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("clitest: start: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		<-done
+		t.Fatalf("clitest: %v timed out (smoke tests must fail fast)", args)
+	}
+	res := Result{Stdout: stdout.String(), Stderr: stderr.String()}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		res.Code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("clitest: run %v: %v", args, err)
+	}
+	return res
+}

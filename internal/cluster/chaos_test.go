@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"gtopkssgd/internal/prng"
+)
+
+// chaosSeed drives every random choice of the soak: victim order and
+// kill iterations. Change it and the soak explores a different failure
+// schedule — any seed must pass.
+const chaosSeed = 0xC4A05
+
+// TestChaosSoakSeededKills is the elastic runtime's endurance test: a
+// 6-worker job loses a prng-chosen worker at a prng-chosen iteration in
+// each of three consecutive kill→shrink→resume cycles (6 → 5 → 4 → 3),
+// and after every recovery the runtime's resume-agreement gate (iter +
+// weight CRC gathered across ranks) must hold, epochs must be declared
+// in strictly increasing order, per-epoch iterations must advance
+// without gaps, every rollback must stay within one checkpoint cadence,
+// and the three survivors must finish all steps with bit-identical
+// weights.
+func TestChaosSoakSeededKills(t *testing.T) {
+	const (
+		workers   = 6
+		steps     = 30
+		ckptEvery = 3
+		kills     = 3
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	ds := elasticDataset(t)
+	dir := t.TempDir()
+
+	// Seeded chaos schedule: victims are a random draw without
+	// replacement; kill iterations land in disjoint windows so each kill
+	// hits its own epoch ([5,8], [13,16], [21,24] — all clear of the
+	// final step).
+	src := prng.New(chaosSeed)
+	names := make([]string, workers)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	perm := append([]string(nil), names...)
+	for i := len(perm) - 1; i > 0; i-- {
+		j := int(src.Uint64() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	killAt := map[string]int{}
+	for i := 0; i < kills; i++ {
+		killAt[perm[i]] = 5 + 8*i + int(src.Uint64()%4)
+	}
+	t.Logf("chaos schedule (seed %#x): %v", chaosSeed, killAt)
+
+	killErr := errors.New("chaos kill switch")
+	var (
+		recMu   sync.Mutex
+		records = make(map[string][]stepRecord)
+	)
+	runResults := make(map[string]*RunResult)
+	runErrs := make(map[string]error)
+
+	addr, _, served := startCoordinator(t, ctx, fastHB(CoordinatorConfig{World: workers}))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			res, err := Run(ctx, RuntimeConfig{
+				Name:            name,
+				Coordinator:     addr,
+				Steps:           steps,
+				CheckpointPath:  filepath.Join(dir, name+".gtkc"),
+				CheckpointEvery: ckptEvery,
+				Build:           elasticBuild(ds),
+				OnStep: func(info StepInfo) error {
+					recMu.Lock()
+					records[name] = append(records[name], stepRecord{
+						epoch: info.Epoch, rank: info.Rank, world: info.World,
+						iter: info.Iter, loss: info.Loss,
+					})
+					recMu.Unlock()
+					if at, doomed := killAt[name]; doomed && info.Iter == at {
+						return killErr
+					}
+					return nil
+				},
+			})
+			recMu.Lock()
+			runResults[name] = res
+			runErrs[name] = err
+			recMu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+
+	var survivors []string
+	for _, name := range names {
+		if _, doomed := killAt[name]; doomed {
+			if err := runErrs[name]; err == nil || !errors.Is(err, killErr) {
+				t.Fatalf("victim %s error = %v, want the kill switch", name, err)
+			}
+			continue
+		}
+		survivors = append(survivors, name)
+		if err := runErrs[name]; err != nil {
+			t.Fatalf("survivor %s failed: %v", name, err)
+		}
+	}
+	sort.Strings(survivors)
+	if len(survivors) != workers-kills {
+		t.Fatalf("%d survivors, want %d", len(survivors), workers-kills)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("coordinator Serve = %v, want nil (job completed)", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("coordinator did not finish")
+	}
+
+	// Survivors complete the full job at the final world size, having
+	// lived through one epoch per kill.
+	for _, name := range survivors {
+		res := runResults[name]
+		if res.Steps != steps || res.FinalWorld != workers-kills ||
+			res.FinalEpoch != uint64(kills+1) || res.Epochs != kills+1 {
+			t.Fatalf("%s result %+v, want %d steps at world %d in epoch %d",
+				name, res, steps, workers-kills, kills+1)
+		}
+	}
+
+	// Monotone epoch numbering and gap-free iteration within each epoch;
+	// every recovery's rollback bounded by the checkpoint cadence.
+	for _, name := range survivors {
+		recs := records[name]
+		if len(recs) == 0 {
+			t.Fatalf("%s has no step records", name)
+		}
+		prev := recs[0]
+		if prev.epoch != 1 {
+			t.Fatalf("%s first record in epoch %d, want 1", name, prev.epoch)
+		}
+		for _, rec := range recs[1:] {
+			switch {
+			case rec.epoch == prev.epoch:
+				if rec.iter != prev.iter+1 {
+					t.Fatalf("%s: iteration gap %d -> %d inside epoch %d", name, prev.iter, rec.iter, rec.epoch)
+				}
+				if rec.world != prev.world {
+					t.Fatalf("%s: world changed %d -> %d without an epoch change", name, prev.world, rec.world)
+				}
+			case rec.epoch > prev.epoch:
+				// A recovery: the world shrank by the one dead worker and
+				// training rolled back at most one checkpoint cadence.
+				if rec.world != prev.world-1 {
+					t.Fatalf("%s: epoch %d -> %d world %d -> %d, want a shrink by 1",
+						name, prev.epoch, rec.epoch, prev.world, rec.world)
+				}
+				resume := rec.iter - 1
+				if resume%ckptEvery != 0 {
+					t.Fatalf("%s: epoch %d resumed at iter %d, not on the checkpoint cadence", name, rec.epoch, resume)
+				}
+				if resume > prev.iter || prev.iter-resume > ckptEvery {
+					t.Fatalf("%s: epoch %d rolled back %d -> %d, outside one cadence of %d",
+						name, rec.epoch, prev.iter, resume, ckptEvery)
+				}
+			default:
+				t.Fatalf("%s: epoch went backwards %d -> %d", name, prev.epoch, rec.epoch)
+			}
+			prev = rec
+		}
+	}
+
+	// Post-recovery agreement, twice over: the runtime's internal gate
+	// already gathered (iter, weight-CRC) across ranks after every
+	// rebuild — a divergence would have failed Run — and the survivors'
+	// final weights must agree bit for bit.
+	ref := runResults[survivors[0]].FinalWeights
+	refCRC := weightsCRC(ref)
+	if len(ref) == 0 {
+		t.Fatalf("%s has no final weights", survivors[0])
+	}
+	for _, name := range survivors[1:] {
+		w := runResults[name].FinalWeights
+		if got := weightsCRC(w); got != refCRC {
+			t.Fatalf("%s final weight CRC %08x, want %08x", name, got, refCRC)
+		}
+		for i := range ref {
+			if math.Float32bits(w[i]) != math.Float32bits(ref[i]) {
+				t.Fatalf("%s weight %d: %v vs %v", name, i, w[i], ref[i])
+			}
+		}
+	}
+	// Sanity: the CRC helper actually discriminates.
+	if weightsCRC(ref) == crc32.ChecksumIEEE(nil) {
+		t.Fatal("weight CRC degenerate")
+	}
+}

@@ -122,13 +122,22 @@ func (c *Comm) recv(ctx context.Context, src, tag int) ([]byte, error) {
 }
 
 // chargeRound accounts one communication round in which this rank moves
-// elems float32-sized elements (α + elems·β on the simulated clock).
-// Rounds where this rank only waits still pay the latency term α, which
-// models the synchronous structure of the paper's algorithms.
+// elems float32-sized elements (α + elems·β on the simulated clock,
+// inflated by the model's synchronization-skew term for this
+// communicator's world size). Rounds where this rank only waits still
+// pay the latency term α, which models the synchronous structure of the
+// paper's algorithms.
 func (c *Comm) chargeRound(elems int) {
+	c.chargeRoundAmong(c.Size(), elems)
+}
+
+// chargeRoundAmong is chargeRound for a round whose synchronization
+// domain is not this communicator's world — e.g. a rank mirroring the
+// leader-level exchange it idles through in the hierarchical collective.
+func (c *Comm) chargeRoundAmong(participants, elems int) {
 	c.stats.Rounds++
 	if c.timed {
-		c.clock.Advance(c.model.PointToPoint(elems))
+		c.clock.Advance(c.model.Round(participants, elems))
 	}
 }
 
@@ -178,6 +187,14 @@ func (c *Comm) SendConsumedOnReturn() bool { return transport.SendConsumedOnRetu
 // ChargeRound lets custom collectives account one synchronous
 // communication round moving elems float32-sized elements.
 func (c *Comm) ChargeRound(elems int) { c.chargeRound(elems) }
+
+// ChargeRoundAmong accounts one synchronous round whose straggler
+// ensemble is `participants` ranks rather than this communicator's
+// world — hierarchical collectives use it so non-leaders pay for the
+// leader-level rounds they wait out.
+func (c *Comm) ChargeRoundAmong(participants, elems int) {
+	c.chargeRoundAmong(participants, elems)
+}
 
 // WireVersion reports the sparse wire-codec version negotiated across
 // this communicator's fabric (v1 for transports without negotiation).

@@ -53,7 +53,8 @@ type BucketStreamer interface {
 type bucketState struct {
 	idx      int
 	comm     *collective.Comm
-	clock    *netsim.Clock // nil when the parent is untimed
+	gc       *collective.GroupComms // non-nil when the pipeline is hierarchical
+	clock    *netsim.Clock          // nil when the parent is untimed
 	sp       *Sparsifier
 	velocity []float32 // DGC momentum-correction buffer (nil when disabled)
 	lo       int
@@ -98,6 +99,7 @@ type BucketedAggregator struct {
 	bounds  []int
 	buckets []*bucketState
 	dense   []float32
+	group   int // hierarchical group size (0 or 1 = flat per-bucket gTop-k)
 
 	mu float32 // DGC momentum-correction coefficient (0 disables)
 
@@ -116,6 +118,23 @@ var _ BucketStreamer = (*BucketedAggregator)(nil)
 // increasing) — derive them from a model's layer bounds with GroupBounds.
 // Each bucket selects DensityToK(size, density) gradients per iteration.
 func NewBucketedAggregator(comm *collective.Comm, bounds []int, density float64) (*BucketedAggregator, error) {
+	return newBucketedAggregator(comm, bounds, density, 0)
+}
+
+// NewHierarchicalBucketedAggregator is NewBucketedAggregator with every
+// bucket's collective replaced by the two-level hierarchical gTop-k over
+// groups of `group` ranks: each bucket's tag-isolated sub-communicator
+// forks its own member/leader hierarchy, so buckets still overlap
+// freely. group <= 1 or group >= world degenerates to the flat bucketed
+// pipeline, bit-identically.
+func NewHierarchicalBucketedAggregator(comm *collective.Comm, bounds []int, density float64, group int) (*BucketedAggregator, error) {
+	if group < 1 {
+		return nil, fmt.Errorf("core: bucketed: group size %d out of range: need >= 1", group)
+	}
+	return newBucketedAggregator(comm, bounds, density, group)
+}
+
+func newBucketedAggregator(comm *collective.Comm, bounds []int, density float64, group int) (*BucketedAggregator, error) {
 	if len(bounds) < 2 || bounds[0] != 0 {
 		return nil, fmt.Errorf("core: bucketed: bounds must start at 0 and cover >= 1 bucket")
 	}
@@ -139,9 +158,11 @@ func NewBucketedAggregator(comm *collective.Comm, bounds []int, density float64)
 		bounds:   append([]int(nil), bounds...),
 		buckets:  make([]*bucketState, n),
 		dense:    make([]float32, dim),
+		group:    group,
 		done:     make(chan bucketDone, n),
 		lastComm: make([]time.Duration, n),
 	}
+	hier := group > 1 && group < comm.Size()
 	for i := 0; i < n; i++ {
 		lo, hi := bounds[i], bounds[i+1]
 		b := &bucketState{
@@ -156,13 +177,28 @@ func NewBucketedAggregator(comm *collective.Comm, bounds []int, density float64)
 			b.clock = &netsim.Clock{}
 			b.comm.WithClock(b.clock, model)
 		}
+		if hier {
+			gc, err := kids[i].ForkGroup(group)
+			if err != nil {
+				return nil, fmt.Errorf("core: bucketed: bucket %d hierarchy: %w", i, err)
+			}
+			// The group sub-comms share the bucket's private clock, so
+			// the slowest-bucket accounting in Finish stays correct.
+			attachHierClocks(b.comm, gc)
+			b.gc = gc
+		}
 		a.buckets[i] = b
 	}
 	return a, nil
 }
 
 // Name implements Aggregator.
-func (a *BucketedAggregator) Name() string { return "gtopk-bucketed" }
+func (a *BucketedAggregator) Name() string {
+	if a.group > 1 && a.group < a.parent.Size() {
+		return "gtopk-bucketed-hier"
+	}
+	return "gtopk-bucketed"
+}
 
 // SetMomentumCorrection enables DGC-style momentum correction (see
 // TopKAggregator.SetMomentumCorrection), maintained per bucket so each
@@ -299,9 +335,19 @@ func (a *BucketedAggregator) runBucket(ctx context.Context, b *bucketState, grad
 		out.err = fmt.Errorf("core: bucket %d select: %w", b.idx, err)
 		return out
 	}
-	if err := GTopKAllReduceInto(ctx, b.comm, local, b.k, ChunksFor(b.k), &b.out); err != nil {
+	if b.gc != nil {
+		err = HierarchicalGTopKAllReduceInto(ctx, b.comm, b.gc, local, b.k, ChunksFor(b.k), &b.out)
+	} else {
+		err = GTopKAllReduceInto(ctx, b.comm, local, b.k, ChunksFor(b.k), &b.out)
+	}
+	if err != nil {
 		out.err = fmt.Errorf("core: bucket %d: %w", b.idx, err)
 		return out
+	}
+	if b.gc != nil {
+		// Fold the hierarchy sub-comms' counters into the bucket's so the
+		// statsDelta below captures all of this bucket's traffic.
+		foldHierStats(b.comm, b.gc)
 	}
 	global := &b.out
 	b.sp.PutBack(local, global.Indices)

@@ -21,9 +21,41 @@ import (
 
 // Model is the α-β communication cost model. Alpha is the per-message
 // startup latency; Beta the per-element (float32) transmission time.
+//
+// SyncGamma optionally extends the model with a synchronization-skew
+// term: a synchronous round among n participants completes when the
+// SLOWEST of its concurrently active links completes, and with
+// independently jittered per-link latencies (the paper's Fig. 8 shows a
+// lognormal scatter around the α-β line) the expected maximum grows with
+// log₂(n). A round among n ranks then charges
+//
+//	α·(1 + γ·log₂(n)) + elems·β
+//
+// instead of the plain α + elems·β. γ = 0 (the zero value) recovers the
+// paper's Table I cost equations exactly — every pre-existing experiment
+// charges with γ = 0 and is bit-unchanged. The hierarchy experiment
+// charges both the flat and the two-level aggregation with the same
+// γ > 0, which is what makes synchronization-domain size (P vs G and
+// P/G) visible to the cost model at all.
 type Model struct {
 	Alpha time.Duration // startup latency per message
 	Beta  time.Duration // transfer time per 4-byte element
+	// SyncGamma is the per-log₂-participant latency inflation of a
+	// synchronous round (0 disables; see the type comment).
+	SyncGamma float64
+}
+
+// DefaultSyncGamma is the synchronization-skew factor the hierarchy
+// experiment uses: at P=32 (the paper's testbed) it inflates the round
+// latency by 1.5×, consistent with the straggler tails the paper's
+// jittered links produce at that scale.
+const DefaultSyncGamma = 0.1
+
+// WithSyncSkew returns a copy of m with the synchronization-skew factor
+// set to gamma.
+func (m Model) WithSyncSkew(gamma float64) Model {
+	m.SyncGamma = gamma
+	return m
 }
 
 // Paper1GbE returns the model with the constants measured in the paper on
@@ -48,9 +80,23 @@ func TenGbE() Model {
 }
 
 // PointToPoint returns the modelled time to transfer n elements between
-// two nodes: α + nβ.
+// two nodes: α + nβ. It never applies the synchronization-skew term —
+// a point-to-point transfer has exactly two participants and no
+// straggler ensemble.
 func (m Model) PointToPoint(n int) time.Duration {
 	return m.Alpha + time.Duration(n)*m.Beta
+}
+
+// Round returns the modelled time of one synchronous communication round
+// among `participants` ranks in which the charged rank moves n elements:
+// α·(1 + γ·log₂(participants)) + nβ. With γ = 0 (or fewer than two
+// participants) it equals PointToPoint(n).
+func (m Model) Round(participants, n int) time.Duration {
+	alpha := m.Alpha
+	if m.SyncGamma > 0 && participants > 1 {
+		alpha = time.Duration(float64(alpha) * (1 + m.SyncGamma*math.Log2(float64(participants))))
+	}
+	return alpha + time.Duration(n)*m.Beta
 }
 
 // DenseAllReduce returns the ring-AllReduce time for a dense vector of
@@ -97,6 +143,64 @@ func (m Model) GTopKAllReduce(p, k int) time.Duration {
 	alphaTerm := time.Duration(2 * logP * float64(m.Alpha))
 	betaTerm := time.Duration(4 * float64(k) * logP * float64(m.Beta))
 	return alphaTerm + betaTerm
+}
+
+// GTopKTree returns the discrete (integer-round) flat-tree gTop-k cost
+// with the synchronization-skew term applied: 2·⌈log₂P⌉ rounds, each
+// moving at most 2k elements and synchronizing all P ranks:
+//
+//	t = 2·⌈log₂P⌉·Round(P, 2k)
+//
+// With SyncGamma = 0 and power-of-two P this equals GTopKAllReduce
+// (Eq. 7) exactly; the hierarchy experiment compares it against
+// HierGTopK under one shared γ.
+func (m Model) GTopKTree(p, k int) time.Duration {
+	if p < 2 {
+		return 0
+	}
+	return time.Duration(2*CeilLog2(p)) * m.Round(p, 2*k)
+}
+
+// HierGTopK returns the modelled cost of the two-level hierarchical
+// gTop-k over groups of g (core.HierarchicalGTopKAllReduce): a full
+// intra-group gTop-k (2·⌈log₂g⌉ rounds among g ranks), the leader-level
+// gTop-k over the ⌈P/g⌉ group leaders (2·⌈log₂⌈P/g⌉⌉ rounds), and the
+// intra-group broadcast of the global result (⌈log₂g⌉ more rounds):
+//
+//	t = 3·⌈log₂g⌉·Round(g, 2k) + 2·⌈log₂⌈P/g⌉⌉·Round(⌈P/g⌉, 2k)
+//
+// The ⌈log₂g⌉ extra broadcast rounds relative to the flat tree are the
+// price of every member holding its group's aggregate (which is what
+// lets any member stand in for a dead leader); the smaller
+// synchronization domains (g and P/g instead of P) are what the
+// hierarchy buys. Under γ = 0 the two terms tie exactly with the flat
+// tree's round count plus the ⌈log₂g⌉ overhead — the crossover only
+// opens once straggler skew makes world-sized rounds more expensive
+// than group-sized ones.
+func (m Model) HierGTopK(p, g, k int) time.Duration {
+	if p < 2 {
+		return 0
+	}
+	if g < 1 {
+		g = 1
+	}
+	if g >= p {
+		return m.GTopKTree(p, k)
+	}
+	leaders := (p + g - 1) / g
+	intra := time.Duration(3*CeilLog2(g)) * m.Round(g, 2*k)
+	inter := time.Duration(2*CeilLog2(leaders)) * m.Round(leaders, 2*k)
+	return intra + inter
+}
+
+// CeilLog2 returns ⌈log₂n⌉ for n ≥ 1 — the sequential round count of a
+// binomial tree over n ranks.
+func CeilLog2(n int) int {
+	r := 0
+	for 1<<r < n {
+		r++
+	}
+	return r
 }
 
 // Link is a point-to-point channel with multiplicative jitter, used to

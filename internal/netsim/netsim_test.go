@@ -156,3 +156,68 @@ func TestClockAdvanceNegativePanics(t *testing.T) {
 	var c Clock
 	c.Advance(-time.Second)
 }
+
+func TestRoundSkewAndGammaZeroCompat(t *testing.T) {
+	m := Model{Alpha: time.Millisecond, Beta: time.Microsecond}
+	// Gamma zero: Round == PointToPoint for every participant count.
+	for _, n := range []int{1, 2, 16, 256} {
+		if m.Round(n, 7) != m.PointToPoint(7) {
+			t.Fatalf("gamma=0 Round(%d,7) = %v, want %v", n, m.Round(n, 7), m.PointToPoint(7))
+		}
+	}
+	s := m.WithSyncSkew(0.5)
+	if m.SyncGamma != 0 {
+		t.Fatal("WithSyncSkew mutated the receiver")
+	}
+	// log2(16) = 4, gamma 0.5 => alpha multiplier 3.
+	if got, want := s.Round(16, 10), 3*time.Millisecond+10*time.Microsecond; got != want {
+		t.Fatalf("skewed Round(16,10) = %v, want %v", got, want)
+	}
+	// Fewer than two participants never inflate.
+	if s.Round(1, 10) != s.PointToPoint(10) {
+		t.Fatal("single-participant round inflated")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 256: 8}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Fatalf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHierGTopKClosedForm(t *testing.T) {
+	m := Paper1GbE().WithSyncSkew(DefaultSyncGamma)
+	const p, g, k = 64, 4, 1000
+	leaders := p / g
+	want := 3*time.Duration(CeilLog2(g))*m.Round(g, 2*k) +
+		2*time.Duration(CeilLog2(leaders))*m.Round(leaders, 2*k)
+	if got := m.HierGTopK(p, g, k); got != want {
+		t.Fatalf("HierGTopK(%d,%d,%d) = %v, want %v", p, g, k, got, want)
+	}
+	// Degenerate groups collapse to the flat tree.
+	if m.HierGTopK(p, p, k) != m.GTopKTree(p, k) {
+		t.Fatal("g=p does not collapse to the flat tree")
+	}
+	if m.HierGTopK(1, 1, k) != 0 {
+		t.Fatal("single-rank world should cost nothing")
+	}
+	// With gamma=0 the hierarchy is the flat tree plus ceil(log2 g)
+	// extra broadcast rounds -- never cheaper (the crossover needs skew).
+	flat0 := Paper1GbE()
+	extra := time.Duration(CeilLog2(g)) * flat0.Round(g, 2*k)
+	if got, want := flat0.HierGTopK(p, g, k), flat0.GTopKTree(p, k)+extra; got != want {
+		t.Fatalf("gamma=0 HierGTopK = %v, want flat+extra = %v", got, want)
+	}
+	// With skew, the crossover the bench records: hierarchy wins at
+	// P=64, G=4, k=1049 (rho=0.001 of 2^20), and loses at P=16.
+	k1 := 1049
+	if m.HierGTopK(64, 4, k1) >= m.GTopKTree(64, k1) {
+		t.Fatalf("no crossover at P=64: hier %v vs flat %v", m.HierGTopK(64, 4, k1), m.GTopKTree(64, k1))
+	}
+	if m.HierGTopK(16, 4, k1) <= m.GTopKTree(16, k1) {
+		t.Fatalf("hierarchy should not win at P=16: hier %v vs flat %v", m.HierGTopK(16, 4, k1), m.GTopKTree(16, k1))
+	}
+}

@@ -8,11 +8,15 @@
 //	                 -checkpoint-dir /tmp/gtopk &
 //	done
 //
-// The coordinator assigns ranks (name-ordered at epoch 1), pushes the
+// The coordinator assigns ranks (name-ordered, every epoch), pushes the
 // data-plane address list to every worker, and watches heartbeats. When
 // a worker dies — SIGKILL, OOM, network loss — it declares a new epoch:
 // survivors rebuild the mesh at the smaller world size and resume from
-// their checkpoints. The process exits 0 when the job completes and
+// their checkpoints. The job is elastic in BOTH directions: a worker
+// joining a running job is parked and admitted at the next epoch
+// boundary, up to -max-world (0 means -world — replacements for dead
+// workers are always welcome, growth beyond the launch size must be
+// enabled explicitly). The process exits 0 when the job completes and
 // non-zero when it aborts (membership fell below -min-world).
 package main
 
@@ -35,25 +39,26 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:7070", "control-plane listen address")
 		world      = flag.Int("world", 0, "worker count the job launches at (required)")
 		minWorld   = flag.Int("min-world", 1, "abort when failures shrink membership below this")
+		maxWorld   = flag.Int("max-world", 0, "admit parked late joiners up to this world size (0 = -world)")
 		hbInterval = flag.Duration("hb-interval", cluster.DefaultHeartbeatInterval, "worker heartbeat period")
 		hbTimeout  = flag.Duration("hb-timeout", cluster.DefaultHeartbeatTimeout, "silence declaring a worker dead")
 		quiet      = flag.Bool("quiet", false, "suppress membership/epoch event log")
 	)
 	flag.Parse()
-	if err := validate(*listen, *world, *minWorld, *hbInterval, *hbTimeout); err != nil {
+	if err := validate(*listen, *world, *minWorld, *maxWorld, *hbInterval, *hbTimeout); err != nil {
 		// Invocation errors exit 2 with usage; runtime failures exit 1.
 		fmt.Fprintf(os.Stderr, "gtopk-coordinator: %v\n\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*listen, *world, *minWorld, *hbInterval, *hbTimeout, *quiet); err != nil {
+	if err := run(*listen, *world, *minWorld, *maxWorld, *hbInterval, *hbTimeout, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "gtopk-coordinator:", err)
 		os.Exit(1)
 	}
 }
 
 // validate rejects nonsensical flag values before any socket is opened.
-func validate(listen string, world, minWorld int, hbInterval, hbTimeout time.Duration) error {
+func validate(listen string, world, minWorld, maxWorld int, hbInterval, hbTimeout time.Duration) error {
 	if listen == "" {
 		return fmt.Errorf("-listen must not be empty")
 	}
@@ -62,6 +67,9 @@ func validate(listen string, world, minWorld int, hbInterval, hbTimeout time.Dur
 	}
 	if minWorld < 1 || minWorld > world {
 		return fmt.Errorf("-min-world %d out of range [1,%d]", minWorld, world)
+	}
+	if maxWorld < 0 || (maxWorld > 0 && maxWorld < world) {
+		return fmt.Errorf("-max-world %d must be 0 (= -world) or >= -world %d", maxWorld, world)
 	}
 	if hbInterval <= 0 || hbTimeout <= 0 {
 		return fmt.Errorf("-hb-interval/-hb-timeout must be > 0 (got %v/%v)", hbInterval, hbTimeout)
@@ -72,7 +80,7 @@ func validate(listen string, world, minWorld int, hbInterval, hbTimeout time.Dur
 	return nil
 }
 
-func run(listen string, world, minWorld int, hbInterval, hbTimeout time.Duration, quiet bool) error {
+func run(listen string, world, minWorld, maxWorld int, hbInterval, hbTimeout time.Duration, quiet bool) error {
 	logf := log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds).Printf
 	if quiet {
 		logf = func(string, ...any) {}
@@ -80,6 +88,7 @@ func run(listen string, world, minWorld int, hbInterval, hbTimeout time.Duration
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		World:             world,
 		MinWorld:          minWorld,
+		MaxWorld:          maxWorld,
 		HeartbeatInterval: hbInterval,
 		HeartbeatTimeout:  hbTimeout,
 		Logf:              logf,

@@ -28,6 +28,8 @@ func TestFlagValidation(t *testing.T) {
 		{"zero-world", []string{"-world", "0"}, "-world is required and must be >= 1"},
 		{"min-world-above-world", []string{"-world", "2", "-min-world", "3"}, "-min-world 3 out of range"},
 		{"zero-min-world", []string{"-world", "2", "-min-world", "0"}, "-min-world 0 out of range"},
+		{"negative-max-world", []string{"-world", "2", "-max-world", "-1"}, "-max-world -1 must be 0"},
+		{"max-world-below-world", []string{"-world", "4", "-max-world", "3"}, "-max-world 3 must be 0 (= -world) or >= -world 4"},
 		{"empty-listen", []string{"-world", "2", "-listen", ""}, "-listen must not be empty"},
 		{"bad-hb-interval", []string{"-world", "2", "-hb-interval", "-1s"}, "must be > 0"},
 		{"hb-timeout-below-interval", []string{"-world", "2", "-hb-interval", "2s", "-hb-timeout", "1s"}, "must exceed -hb-interval"},

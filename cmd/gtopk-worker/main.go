@@ -13,8 +13,12 @@
 //
 // If a worker is SIGKILLed mid-training, the survivors re-form the mesh
 // at the smaller world size and resume from their last checkpoint —
-// momentum and error-feedback residual intact. See docs/ARCHITECTURE.md
-// for the failure/recovery walkthrough.
+// momentum and error-feedback residual intact. The reverse works too: a
+// worker started against an already-running job (same command line, new
+// -name) is parked by the coordinator and admitted at the next epoch
+// boundary, adopting the cluster's weights and momentum from a donor
+// rank; park and admission events print on stderr. See
+// docs/ARCHITECTURE.md for the failure/recovery and grow walkthroughs.
 //
 // Static mode (legacy): a fixed, hand-written membership; the job dies
 // with its weakest worker:

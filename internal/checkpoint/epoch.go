@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Well-known metadata keys written by the elastic cluster runtime. They
@@ -21,6 +22,12 @@ const (
 	// reassigned on every epoch; the name is the identity that persists,
 	// which is why checkpoint files are keyed by it.
 	MetaName = "cluster.name"
+	// MetaMembers is the rank-ordered member list of the snapshot's
+	// epoch, comma-joined. It records the deterministic re-shard the
+	// snapshot was taken under, so a resume after an elastic grow or
+	// shrink can tell that its data shard moved (and log it) instead of
+	// silently assuming the assignment never changed.
+	MetaMembers = "cluster.members"
 )
 
 // SetClusterMeta records the elastic-cluster coordinates of a snapshot:
@@ -34,6 +41,33 @@ func (s *State) SetClusterMeta(epoch uint64, world, rank int, name string) {
 	s.Meta[MetaWorld] = strconv.Itoa(world)
 	s.Meta[MetaRank] = strconv.Itoa(rank)
 	s.Meta[MetaName] = name
+}
+
+// SetMembers records the snapshot epoch's rank-ordered member list.
+// Commas are the join separator, so names containing one are rejected —
+// the cluster package never allows such names into an epoch.
+func (s *State) SetMembers(names []string) error {
+	for _, n := range names {
+		if strings.Contains(n, ",") {
+			return fmt.Errorf("checkpoint: member name %q contains the list separator", n)
+		}
+	}
+	if s.Meta == nil {
+		s.Meta = make(map[string]string, 1)
+	}
+	s.Meta[MetaMembers] = strings.Join(names, ",")
+	return nil
+}
+
+// Members returns the snapshot epoch's rank-ordered member list; ok is
+// false for snapshots written before the grow-capable runtime (or
+// outside an elastic job).
+func (s *State) Members() (names []string, ok bool) {
+	v, present := s.Meta[MetaMembers]
+	if !present {
+		return nil, false
+	}
+	return strings.Split(v, ","), true
 }
 
 // Epoch returns the cluster epoch recorded in the snapshot; ok is false

@@ -53,3 +53,39 @@ func TestClusterMetaAbsent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMembersRoundTrip(t *testing.T) {
+	s := &State{Iter: 4, Weights: []float32{1}, Velocity: []float32{2}}
+	if err := s.SetMembers([]string{"w0", "w15", "w2"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, ok := got.Members()
+	if !ok || len(members) != 3 || members[0] != "w0" || members[1] != "w15" || members[2] != "w2" {
+		t.Fatalf("members = %v, %v; want [w0 w15 w2], true", members, ok)
+	}
+}
+
+func TestMembersRejectSeparator(t *testing.T) {
+	s := &State{}
+	if err := s.SetMembers([]string{"w0", "evil,name"}); err == nil {
+		t.Fatal("comma-bearing member name accepted")
+	}
+	if _, ok := s.Members(); ok {
+		t.Fatal("members reported after rejected set")
+	}
+}
+
+func TestMembersAbsent(t *testing.T) {
+	s := &State{}
+	if _, ok := s.Members(); ok {
+		t.Fatal("members reported on snapshot without them")
+	}
+}

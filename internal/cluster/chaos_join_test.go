@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gtopkssgd/internal/prng"
+)
+
+// chaosJoinSeed drives the grow/shrink soak's random choices: which
+// initial workers die and at which iterations the events trigger. Any
+// seed must pass.
+const chaosJoinSeed = 0x9055C4A05
+
+// TestChaosSoakKillsAndJoins is the elastic runtime's endurance test
+// for BOTH directions of elasticity: a 4-worker job loses a worker,
+// gains two late joiners (one cycle past its launch size, to MaxWorld
+// 5), then loses another — 4 → 3 → 4 → 5 → 4 across four prng-placed
+// membership events. Through all of it: epochs must be declared in
+// strictly increasing order with the expected world size each, per-
+// epoch iterations must advance gap-free, every rollback must stay
+// within one checkpoint cadence of the interrupted epoch (allowing the
+// one-step catch-up a mid-collective teardown can produce), and every
+// finisher — survivors and joiners alike — must end with bit-identical
+// weights.
+func TestChaosSoakKillsAndJoins(t *testing.T) {
+	const (
+		initial   = 4
+		maxWorld  = 5
+		steps     = 36
+		ckptEvery = 3
+		// stepPace slows every step so coordinator monitor ticks (the
+		// admission boundary) land within a few iterations of each join
+		// trigger, keeping all four events inside the step budget.
+		stepPace = 4 * time.Millisecond
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	ds := elasticDataset(t)
+	dir := t.TempDir()
+
+	// Seeded schedule. Kills pick two distinct initial workers; the kill
+	// iterations and join triggers live in disjoint windows and each
+	// event is additionally gated on the epoch it belongs to, so the
+	// cycle order 4 -> 3 -> 4 -> 5 -> 4 is stable under timing jitter.
+	src := prng.New(chaosJoinSeed)
+	names := make([]string, initial)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	perm := append([]string(nil), names...)
+	for i := len(perm) - 1; i > 0; i-- {
+		j := int(src.Uint64() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	var (
+		victim1, victim2 = perm[0], perm[1]
+		kill1At          = 5 + int(src.Uint64()%4)  // epoch 1, [5,8]
+		join1At          = 11 + int(src.Uint64()%4) // epoch 2, [11,14]
+		join2At          = 19 + int(src.Uint64()%4) // epoch 3, [19,22]
+		kill2At          = 27 + int(src.Uint64()%4) // epoch 4, [27,30]
+		joiners          = []string{"w05", "w25"}   // sort between the founders
+	)
+	t.Logf("chaos schedule (seed %#x): kill %s@%d, join %s@%d, join %s@%d, kill %s@%d",
+		uint64(chaosJoinSeed), victim1, kill1At, joiners[0], join1At, joiners[1], join2At, victim2, kill2At)
+
+	killErr := errors.New("chaos kill switch")
+	var (
+		recMu      sync.Mutex
+		records    = make(map[string][]stepRecord)
+		runResults = make(map[string]*RunResult)
+		runErrs    = make(map[string]error)
+		join1Once  sync.Once
+		join2Once  sync.Once
+		wg         sync.WaitGroup
+	)
+
+	addr, _, served := startCoordinator(t, ctx,
+		fastHB(CoordinatorConfig{World: initial, MaxWorld: maxWorld}))
+	var launch func(name string)
+	launch = func(name string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Run(ctx, RuntimeConfig{
+				Name:            name,
+				Coordinator:     addr,
+				Steps:           steps,
+				CheckpointPath:  filepath.Join(dir, name+".gtkc"),
+				CheckpointEvery: ckptEvery,
+				Build:           elasticBuild(ds),
+				OnStep: func(info StepInfo) error {
+					recMu.Lock()
+					records[name] = append(records[name], stepRecord{
+						epoch: info.Epoch, rank: info.Rank, world: info.World,
+						iter: info.Iter, loss: info.Loss,
+					})
+					recMu.Unlock()
+					switch {
+					case name == victim1 && info.Epoch == 1 && info.Iter >= kill1At:
+						return killErr
+					case name == victim2 && info.Epoch == 4 && info.Iter >= kill2At:
+						return killErr
+					case info.Epoch == 2 && info.Iter >= join1At:
+						join1Once.Do(func() { launch(joiners[0]) })
+					case info.Epoch == 3 && info.Iter >= join2At:
+						join2Once.Do(func() { launch(joiners[1]) })
+					}
+					time.Sleep(stepPace)
+					return nil
+				},
+			})
+			recMu.Lock()
+			runResults[name] = res
+			runErrs[name] = err
+			recMu.Unlock()
+		}()
+	}
+	for _, name := range names {
+		launch(name)
+	}
+	wg.Wait()
+
+	// Victims die by the kill switch; every other worker — initial
+	// survivors and both joiners — completes the job.
+	var finishers []string
+	for _, name := range append(append([]string(nil), names...), joiners...) {
+		if name == victim1 || name == victim2 {
+			if err := runErrs[name]; err == nil || !errors.Is(err, killErr) {
+				t.Fatalf("victim %s error = %v, want the kill switch", name, err)
+			}
+			continue
+		}
+		if err := runErrs[name]; err != nil {
+			t.Fatalf("%s failed: %v", name, err)
+		}
+		finishers = append(finishers, name)
+	}
+	if len(finishers) != initial-2+len(joiners) {
+		t.Fatalf("%d finishers, want %d", len(finishers), initial-2+len(joiners))
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("coordinator Serve = %v, want nil (job completed)", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("coordinator did not finish")
+	}
+
+	// Every finisher ends in epoch 5 at world 4 having run all steps;
+	// epoch participation depends on when each entered the job.
+	wantEpochs := map[string]int{joiners[0]: 3, joiners[1]: 2}
+	for _, name := range finishers {
+		res := runResults[name]
+		we, isJoiner := wantEpochs[name]
+		if !isJoiner {
+			we = 5
+		}
+		if res.Steps != steps || res.FinalWorld != initial || res.FinalEpoch != 5 || res.Epochs != we {
+			t.Fatalf("%s result %+v, want %d steps at world %d in epoch 5 across %d epochs",
+				name, res, steps, initial, we)
+		}
+	}
+
+	// The full grow/shrink cycle: every epoch was declared at the
+	// expected world size, consistently across all observers.
+	wantWorld := map[uint64]int{1: 4, 2: 3, 3: 4, 4: 5, 5: 4}
+	seenWorld := make(map[uint64]int)
+	recMu.Lock()
+	for name, recs := range records {
+		for _, rec := range recs {
+			if prev, ok := seenWorld[rec.epoch]; ok && prev != rec.world {
+				t.Fatalf("%s saw epoch %d at world %d, another worker at %d", name, rec.epoch, rec.world, prev)
+			}
+			seenWorld[rec.epoch] = rec.world
+		}
+	}
+	recMu.Unlock()
+	if len(seenWorld) != len(wantWorld) {
+		t.Fatalf("observed epochs %v, want exactly %v", seenWorld, wantWorld)
+	}
+	for epoch, world := range wantWorld {
+		if seenWorld[epoch] != world {
+			t.Fatalf("epoch %d ran at world %d, want %d (cycle must be 4->3->4->5->4)", epoch, seenWorld[epoch], world)
+		}
+	}
+
+	// Monotone epochs, gap-free iterations inside each epoch, and
+	// bounded rollback at every boundary. A worker may resume one step
+	// PAST its own last observed iteration — its peers can finish a step
+	// it was cancelled inside and donate the state — but never further,
+	// and always from a cadence-aligned checkpoint.
+	for _, name := range finishers {
+		recs := records[name]
+		if len(recs) == 0 {
+			t.Fatalf("%s has no step records", name)
+		}
+		prev := recs[0]
+		if _, isJoiner := wantEpochs[name]; !isJoiner && prev.epoch != 1 {
+			t.Fatalf("%s first record in epoch %d, want 1", name, prev.epoch)
+		}
+		for _, rec := range recs[1:] {
+			switch {
+			case rec.epoch == prev.epoch:
+				if rec.iter != prev.iter+1 {
+					t.Fatalf("%s: iteration gap %d -> %d inside epoch %d", name, prev.iter, rec.iter, rec.epoch)
+				}
+				if rec.world != prev.world {
+					t.Fatalf("%s: world changed %d -> %d without an epoch change", name, prev.world, rec.world)
+				}
+			case rec.epoch == prev.epoch+1:
+				if rec.world != wantWorld[rec.epoch] {
+					t.Fatalf("%s: epoch %d at world %d, want %d", name, rec.epoch, rec.world, wantWorld[rec.epoch])
+				}
+				resume := rec.iter - 1
+				if resume%ckptEvery != 0 {
+					t.Fatalf("%s: epoch %d resumed at iter %d, not on the checkpoint cadence", name, rec.epoch, resume)
+				}
+				if resume > prev.iter+1 || prev.iter-resume > ckptEvery {
+					t.Fatalf("%s: epoch %d rolled back %d -> %d, outside [-1, %d]",
+						name, rec.epoch, prev.iter, resume, ckptEvery)
+				}
+			default:
+				t.Fatalf("%s: epoch jumped %d -> %d (must advance one at a time)", name, prev.epoch, rec.epoch)
+			}
+			prev = rec
+		}
+	}
+
+	// Bitwise agreement at the finish line, survivors and joiners alike.
+	ref := runResults[finishers[0]].FinalWeights
+	if len(ref) == 0 {
+		t.Fatalf("%s has no final weights", finishers[0])
+	}
+	refCRC := weightsCRC(ref)
+	for _, name := range finishers[1:] {
+		w := runResults[name].FinalWeights
+		if got := weightsCRC(w); got != refCRC {
+			t.Fatalf("%s final weight CRC %08x, want %08x", name, got, refCRC)
+		}
+		for i := range ref {
+			if math.Float32bits(w[i]) != math.Float32bits(ref[i]) {
+				t.Fatalf("%s weight %d: %v vs %v", name, i, w[i], ref[i])
+			}
+		}
+	}
+}

@@ -17,6 +17,18 @@ type CoordinatorConfig struct {
 	// MinWorld aborts the job when failures shrink membership below it.
 	// 0 means 1: the job runs down to a single worker.
 	MinWorld int
+	// MaxWorld bounds elastic growth: late joiners are parked and
+	// admitted at epoch boundaries only while the world stays at or
+	// below it. 0 means World — recovered workers can rejoin up to the
+	// launch size, but the job never grows beyond it unless MaxWorld is
+	// raised explicitly.
+	MaxWorld int
+	// Autoscale decides the target world size whenever parked joiners
+	// are waiting; nil means GrowByPendingJoins (admit everything the
+	// MaxWorld bound allows). The returned target is clamped to
+	// [current world, MaxWorld]: the coordinator can only admit workers
+	// that asked to join, and policy-driven eviction is not supported.
+	Autoscale AutoscalePolicy
 	// HeartbeatInterval is pushed to every member in the welcome
 	// message; 0 means DefaultHeartbeatInterval.
 	HeartbeatInterval time.Duration
@@ -27,10 +39,62 @@ type CoordinatorConfig struct {
 	Logf func(format string, args ...any)
 }
 
+// AutoscaleState is the input to an autoscaler decision: what the
+// coordinator knows about the running epoch and the join queue at one
+// policy-evaluation instant.
+type AutoscaleState struct {
+	// Epoch is the running epoch the decision would grow out of.
+	Epoch uint64
+	// World is the current live worker count.
+	World int
+	// Pending counts parked joiners eligible for admission.
+	Pending int
+	// MinWorld and MaxWorld are the job's configured bounds.
+	MinWorld, MaxWorld int
+	// OldestPendingAge is how long the longest-parked joiner has waited.
+	OldestPendingAge time.Duration
+	// MaxHeartbeatAge is the staleness of the slowest live member's last
+	// heartbeat — a cheap load proxy: overloaded workers heartbeat late.
+	MaxHeartbeatAge time.Duration
+}
+
+// AutoscalePolicy maps an AutoscaleState to a target world size. It is
+// consulted on every monitor tick while joiners are parked; returning a
+// target at or below the current world admits nobody.
+type AutoscalePolicy func(AutoscaleState) int
+
+// GrowByPendingJoins is the default autoscaler: the join queue IS the
+// demand signal, so the target world is current plus everything parked
+// (the coordinator clamps to MaxWorld).
+func GrowByPendingJoins() AutoscalePolicy {
+	return func(s AutoscaleState) int { return s.World + s.Pending }
+}
+
+// GrowWhenHeartbeatLagged is a load-driven autoscaler: it admits parked
+// joiners only when the slowest member's heartbeat is staler than lag —
+// the signature of workers too busy to keep the control plane fresh —
+// and otherwise holds the world steady. Joiners parked longer than
+// maxWait are admitted regardless, so a miscalibrated lag threshold
+// cannot starve the queue forever.
+func GrowWhenHeartbeatLagged(lag, maxWait time.Duration) AutoscalePolicy {
+	return func(s AutoscaleState) int {
+		if s.MaxHeartbeatAge >= lag || (maxWait > 0 && s.OldestPendingAge >= maxWait) {
+			return s.World + s.Pending
+		}
+		return s.World
+	}
+}
+
 func (c *CoordinatorConfig) withDefaults() CoordinatorConfig {
 	out := *c
 	if out.MinWorld < 1 {
 		out.MinWorld = 1
+	}
+	if out.MaxWorld < 1 {
+		out.MaxWorld = out.World
+	}
+	if out.Autoscale == nil {
+		out.Autoscale = GrowByPendingJoins()
 	}
 	if out.HeartbeatInterval <= 0 {
 		out.HeartbeatInterval = DefaultHeartbeatInterval
@@ -51,6 +115,7 @@ type memberState struct {
 	codec    *connCodec
 	rank     int
 	lastHB   time.Time
+	parkedAt time.Time  // when a late joiner entered the pending queue
 	welcomed bool       // welcome written; configs may follow
 	sendMu   sync.Mutex // serialises coordinator→member writes
 }
@@ -63,13 +128,15 @@ func (m *memberState) send(msg *message) error {
 
 // Coordinator is the rendezvous and membership service of an elastic
 // job: workers join by name, the coordinator freezes epoch 1 when the
-// configured world size is reached, and every detected failure advances
-// the job to a new epoch with the survivors re-ranked densely.
+// configured world size is reached, every detected failure advances the
+// job to a new epoch with the survivors re-ranked, and late joiners are
+// parked until the autoscaler admits them into a grown epoch.
 type Coordinator struct {
 	cfg CoordinatorConfig
 
 	mu       sync.Mutex
 	members  map[string]*memberState
+	pending  map[string]*memberState // parked late joiners, keyed by name
 	epoch    uint64
 	started  bool
 	done     bool
@@ -86,6 +153,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if full.MinWorld > cfg.World {
 		return nil, fmt.Errorf("cluster: min world %d exceeds world %d", full.MinWorld, cfg.World)
 	}
+	if full.MaxWorld < cfg.World {
+		return nil, fmt.Errorf("cluster: max world %d below world %d", full.MaxWorld, cfg.World)
+	}
 	if full.HeartbeatTimeout <= full.HeartbeatInterval {
 		return nil, fmt.Errorf("cluster: heartbeat timeout %v must exceed interval %v",
 			full.HeartbeatTimeout, full.HeartbeatInterval)
@@ -93,6 +163,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	return &Coordinator{
 		cfg:      full,
 		members:  make(map[string]*memberState, cfg.World),
+		pending:  make(map[string]*memberState),
 		finished: make(chan struct{}),
 	}, nil
 }
@@ -162,18 +233,21 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	}
 
 	m := &memberState{name: first.Name, addr: first.Addr, codec: codec, lastHB: time.Now()}
-	if reason := c.admit(m); reason != "" {
+	parked, reason := c.admit(m)
+	if reason != "" {
 		codec.write(&message{T: msgReject, Reason: reason}) //nolint:errcheck // best-effort courtesy
 		conn.Close()                                        //nolint:errcheck // rejected
 		return
 	}
 	// Welcome seals the heartbeat contract. It is sent before the world
 	// can fill (maybeStart below), so a member always reads its welcome
-	// before any epoch config.
+	// before any epoch config. Parked joiners learn they are queued for
+	// the next epoch boundary rather than part of the running epoch.
 	if err := m.send(&message{
 		T:      msgWelcome,
 		HBMs:   c.cfg.HeartbeatInterval.Milliseconds(),
 		DeadMs: c.cfg.HeartbeatTimeout.Milliseconds(),
+		Parked: parked,
 	}); err != nil {
 		c.reportDown(m, "welcome write failed")
 		conn.Close() //nolint:errcheck // already counted as down
@@ -193,7 +267,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		case msgHeartbeat:
 			c.mu.Lock()
 			m.lastHB = time.Now()
-			stale := c.members[m.name] != m
+			stale := c.members[m.name] != m && c.pending[m.name] != m
 			c.mu.Unlock()
 			if stale {
 				// Declared dead earlier (e.g. a heartbeat gap) but still
@@ -214,35 +288,51 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	}
 }
 
-// admit registers a joining member; it returns a non-empty rejection
-// reason when the join is not allowed.
-func (c *Coordinator) admit(m *memberState) string {
+// admit registers a joining member, either into the founding membership
+// (before epoch 1) or into the pending queue of parked late joiners
+// (after it). It returns parked=true for a queued late joiner and a
+// non-empty rejection reason when the join is not allowed.
+func (c *Coordinator) admit(m *memberState) (parked bool, reason string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch {
 	case c.done:
-		return "job already finished"
+		return false, "job already finished"
 	case c.abortErr != nil:
-		return "job aborted"
-	case c.started:
-		// Elastic GROWTH (rejoin / scale-up) is not implemented; the
-		// subsystem only shrinks. See docs/ARCHITECTURE.md, Future work.
-		return "job already running; late join not supported"
-	case c.members[m.name] != nil:
-		return fmt.Sprintf("name %q already joined", m.name)
+		return false, "job aborted"
+	case c.members[m.name] != nil || c.pending[m.name] != nil:
+		// A live member's name is its identity across epochs; a joiner
+		// reusing one is either a zombie of the original or an operator
+		// mistake, and admitting it would corrupt the re-shard mapping.
+		return false, fmt.Sprintf("name %q already joined (pick a name no live or parked worker holds)", m.name)
 	}
-	c.members[m.name] = m
-	c.cfg.Logf("cluster: %s joined from %s (%d/%d)", m.name, m.addr, len(c.members), c.cfg.World)
-	return ""
+	if !c.started && len(c.members) < c.cfg.World {
+		c.members[m.name] = m
+		c.cfg.Logf("cluster: %s joined from %s (%d/%d)", m.name, m.addr, len(c.members), c.cfg.World)
+		return false, ""
+	}
+	// Late join (or a pre-start surplus beyond World): park until the
+	// autoscaler admits it at the next epoch boundary.
+	if len(c.members)+len(c.pending) >= c.cfg.MaxWorld {
+		return false, fmt.Sprintf("world full (%d live + %d parked at max %d); late join refused",
+			len(c.members), len(c.pending), c.cfg.MaxWorld)
+	}
+	m.parkedAt = time.Now()
+	c.pending[m.name] = m
+	c.cfg.Logf("cluster: %s join parked from %s (%d live, %d pending, max %d)",
+		m.name, m.addr, len(c.members), len(c.pending), c.cfg.MaxWorld)
+	return true, ""
 }
 
 // maybeStart declares epoch 1 once the world is full and every member
 // has been welcomed — the welcomed gate guarantees no member can read
 // an epoch config before its welcome, even with concurrent joins.
+// Parked joiners only have their welcomed flag recorded here; admission
+// happens on the monitor's autoscale tick.
 func (c *Coordinator) maybeStart(m *memberState) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.members[m.name] == m {
+	if c.members[m.name] == m || c.pending[m.name] == m {
 		m.welcomed = true
 	}
 	if c.started || len(c.members) != c.cfg.World {
@@ -257,6 +347,66 @@ func (c *Coordinator) maybeStart(m *memberState) {
 	c.formEpochLocked()
 }
 
+// maybeGrowLocked consults the autoscale policy and, when it raises the
+// target world size, admits parked joiners (welcomed ones only, in name
+// order — the deterministic boundary) and declares the grown epoch.
+// Caller holds c.mu.
+func (c *Coordinator) maybeGrowLocked() {
+	if !c.started || c.done || c.abortErr != nil || len(c.pending) == 0 {
+		return
+	}
+	now := time.Now()
+	var ready []*memberState
+	var oldest time.Duration
+	for _, p := range c.pending {
+		if !p.welcomed {
+			continue
+		}
+		ready = append(ready, p)
+		if age := now.Sub(p.parkedAt); age > oldest {
+			oldest = age
+		}
+	}
+	if len(ready) == 0 {
+		return
+	}
+	var hbAge time.Duration
+	for _, m := range c.members {
+		if age := now.Sub(m.lastHB); age > hbAge {
+			hbAge = age
+		}
+	}
+	target := c.cfg.Autoscale(AutoscaleState{
+		Epoch:            c.epoch,
+		World:            len(c.members),
+		Pending:          len(ready),
+		MinWorld:         c.cfg.MinWorld,
+		MaxWorld:         c.cfg.MaxWorld,
+		OldestPendingAge: oldest,
+		MaxHeartbeatAge:  hbAge,
+	})
+	if target > c.cfg.MaxWorld {
+		target = c.cfg.MaxWorld
+	}
+	n := target - len(c.members)
+	if n <= 0 {
+		return
+	}
+	if n > len(ready) {
+		n = len(ready)
+	}
+	// Admit in name order so which joiners enter a partially-admitting
+	// epoch is a pure function of the queue contents, not arrival order.
+	sort.Slice(ready, func(i, j int) bool { return ready[i].name < ready[j].name })
+	for _, p := range ready[:n] {
+		delete(c.pending, p.name)
+		c.members[p.name] = p
+		c.cfg.Logf("cluster: %s admitted at epoch boundary after %v parked (world %d -> %d)",
+			p.name, now.Sub(p.parkedAt).Round(time.Millisecond), len(c.members)-1, len(c.members))
+	}
+	c.formEpochLocked()
+}
+
 // depart handles a graceful leave. The first leave carrying done=true
 // marks the job complete, after which departures and failures no longer
 // declare epochs.
@@ -266,6 +416,10 @@ func (c *Coordinator) depart(m *memberState, jobDone bool) {
 		delete(c.members, m.name)
 		c.cfg.Logf("cluster: %s left (done=%v)", m.name, jobDone)
 	}
+	if c.pending[m.name] == m {
+		delete(c.pending, m.name)
+		c.cfg.Logf("cluster: parked joiner %s left before admission", m.name)
+	}
 	if jobDone {
 		c.done = true
 	}
@@ -274,10 +428,17 @@ func (c *Coordinator) depart(m *memberState, jobDone bool) {
 }
 
 // reportDown removes a failed member and, when the job is mid-flight,
-// declares the next epoch for the survivors.
+// declares the next epoch for the survivors. A dead parked joiner is
+// simply dropped from the queue — it never entered an epoch, so nothing
+// needs re-forming.
 func (c *Coordinator) reportDown(m *memberState, reason string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.pending[m.name] == m {
+		delete(c.pending, m.name)
+		c.cfg.Logf("cluster: parked joiner %s is down (%s); %d still pending", m.name, reason, len(c.pending))
+		return
+	}
 	if c.members[m.name] != m {
 		return // already departed or superseded
 	}
@@ -294,26 +455,26 @@ func (c *Coordinator) reportDown(m *memberState, reason string) {
 	c.formEpochLocked()
 }
 
-// formEpochLocked declares the next epoch over the current membership:
-// ranks are assigned by name order at epoch 1 and by previous rank
-// order afterwards, so survivors keep their relative order and the
-// checkpoint→shard mapping stays deterministic. Caller holds c.mu.
+// formEpochLocked declares the next epoch over the current membership.
+// Ranks come from the deterministic re-shard rule (Reshard: name order)
+// for every epoch. Shrinks behave exactly as they always have —
+// removing names from a sorted list keeps it sorted, so survivors keep
+// their relative order — and grows slot each admitted joiner at its
+// name-order position, shifting later survivors up by the insertion
+// count. Caller holds c.mu.
 func (c *Coordinator) formEpochLocked() {
 	c.epoch++
-	list := make([]*memberState, 0, len(c.members))
-	for _, m := range c.members {
-		list = append(list, m)
+	memberNames := make([]string, 0, len(c.members))
+	for name := range c.members {
+		memberNames = append(memberNames, name)
 	}
-	if c.epoch == 1 {
-		sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
-	} else {
-		sort.Slice(list, func(i, j int) bool { return list[i].rank < list[j].rank })
-	}
-	names := make([]string, len(list))
-	addrs := make([]string, len(list))
-	for rank, m := range list {
+	names := Reshard(memberNames)
+	list := make([]*memberState, len(names))
+	addrs := make([]string, len(names))
+	for rank, name := range names {
+		m := c.members[name]
 		m.rank = rank
-		names[rank] = m.name
+		list[rank] = m
 		addrs[rank] = m.addr
 	}
 	c.cfg.Logf("cluster: epoch %d formed: world %d, members %v", c.epoch, len(list), names)
@@ -343,9 +504,12 @@ func (c *Coordinator) abortLocked(err error) {
 	}
 	c.abortErr = err
 	c.cfg.Logf("cluster: aborting job: %v", err)
-	members := make([]*memberState, 0, len(c.members))
+	members := make([]*memberState, 0, len(c.members)+len(c.pending))
 	for _, m := range c.members {
 		members = append(members, m)
+	}
+	for _, m := range c.pending {
+		members = append(members, m) // parked joiners get the farewell too
 	}
 	go func() {
 		var wg sync.WaitGroup
@@ -394,19 +558,35 @@ func (c *Coordinator) monitor(done <-chan struct{}) {
 					dead = append(dead, m)
 				}
 			}
+			// Parked joiners heartbeat too: a joiner that died while
+			// waiting must never be admitted into an epoch.
+			for _, m := range c.pending {
+				if now.Sub(m.lastHB) > c.cfg.HeartbeatTimeout {
+					dead = append(dead, m)
+				}
+			}
 		}
 		c.mu.Unlock()
 		for _, m := range dead {
 			c.reportDown(m, fmt.Sprintf("missed heartbeats for %v", c.cfg.HeartbeatTimeout))
 		}
+		// The monitor tick is the epoch boundary at which parked joiners
+		// are admitted; the autoscale policy decides whether to grow.
+		c.mu.Lock()
+		c.maybeGrowLocked()
+		c.mu.Unlock()
 	}
 }
 
-// closeAllConns tears down every remaining control connection.
+// closeAllConns tears down every remaining control connection,
+// including parked joiners still waiting for admission.
 func (c *Coordinator) closeAllConns() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, m := range c.members {
+		m.codec.conn.Close() //nolint:errcheck // teardown path
+	}
+	for _, m := range c.pending {
 		m.codec.conn.Close() //nolint:errcheck // teardown path
 	}
 }

@@ -5,7 +5,10 @@
 // survivors re-form the mesh at the smaller world size and resume
 // training from the last checkpoint — momentum and error-feedback
 // residual intact, so gTop-k convergence behaviour is preserved across
-// the shrink.
+// the shrink. The job is elastic in both directions: a worker joining
+// a running job is parked and admitted at the next epoch boundary (up
+// to CoordinatorConfig.MaxWorld, gated by a pluggable AutoscalePolicy),
+// adopting the cluster's weights and momentum from a donor rank.
 //
 // # Roles
 //
@@ -28,13 +31,14 @@
 // across epochs.
 //
 //	coordinator:  gathering ──(world full)──▶ running(e=1)
-//	                 ▲                          │ member dies (missed
-//	                 │                          │ heartbeats / conn lost)
-//	              (never: join                  ▼
-//	               after start                running(e+1)  … until a
-//	               is rejected)               worker reports completion
+//	                 ▲                          │   ▲ member dies (missed
+//	                 │                          │   │ heartbeats / conn
+//	              (late join:                   ▼   │ lost), or parked
+//	               parked until the           running(e±1)  … until a
+//	               next epoch boundary,       worker reports completion
+//	               admitted up to max-world)
 //
-//	worker:  join ─▶ wait config(e) ─▶ mesh(e) ─▶ agree on resume
+//	worker:  join ─▶ wait config(e) ─▶ mesh(e) ─▶ sync resume
 //	              ▲                                iteration ─▶ train
 //	              │                                   │
 //	              └── step error / new config ────────┘
@@ -43,9 +47,17 @@
 // not exit: it waits for the next epoch's configuration, rebuilds the
 // mesh via transport.JoinMesh (same listener, new epoch stamp),
 // re-forks its sub-communicator from the rebuilt collective.Comm, and
-// resumes from its own checkpoint after all survivors agree — via a
-// Gather/Bcast round on the new mesh — that they hold snapshots of the
-// same iteration (and bit-identical weights, compared by checksum).
+// restores its own checkpoint. The epoch then syncs a resume point via
+// a Gather/Bcast round on the new mesh: rank 0 picks the highest
+// iteration any member holds, verifies every member already there has
+// bit-identical weights (compared by checksum), and elects a donor.
+// Members behind the resume point — an admitted joiner with no
+// checkpoint, a rejoiner with a stale one — adopt the donor's weights
+// and momentum over two broadcasts and restart their error-feedback
+// residual at zero. Rank assignment is a pure function of the
+// name-sorted member set (Reshard), so every member independently
+// derives the same data shard (ShardRange) regardless of arrival
+// order.
 //
 // # What a failure costs
 //
@@ -56,5 +68,6 @@
 // weights, momentum, every survivor's residual — carries over, which is
 // why the post-resume trajectory is bit-identical to a fresh job of the
 // surviving size started from the same snapshots (asserted by
-// TestElasticShrinkMatchesFreshRun).
+// TestElasticShrinkMatchesFreshRun, and by TestElasticGrowMatchesFreshRun
+// for the 3→4 grow direction).
 package cluster

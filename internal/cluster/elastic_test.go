@@ -14,6 +14,7 @@ import (
 	"gtopkssgd/internal/core"
 	"gtopkssgd/internal/data"
 	"gtopkssgd/internal/nn/models"
+	"gtopkssgd/internal/transport"
 )
 
 // Shared hyper-parameters: elastic runs and their non-elastic reference
@@ -71,6 +72,14 @@ type refState struct {
 // final weights.
 func refRun(t *testing.T, ds *data.Images, workers, steps int, restore []*refState, fromIter int) ([][]float64, []*refState) {
 	t.Helper()
+	return refRunOn(t, ds, workers, steps, restore, fromIter, nil)
+}
+
+// refRunOn is refRun on an explicit fabric (nil means the default
+// in-process one) — bit-identity claims are checked against references
+// on both inproc and real TCP transports.
+func refRunOn(t *testing.T, ds *data.Images, workers, steps int, restore []*refState, fromIter int, fabric transport.Fabric) ([][]float64, []*refState) {
+	t.Helper()
 	type rankRefs struct {
 		cls *models.Classifier
 		agg *core.GTopKAggregator
@@ -78,7 +87,7 @@ func refRun(t *testing.T, ds *data.Images, workers, steps int, restore []*refSta
 	}
 	refs := make([]*rankRefs, workers)
 	results, err := core.RunCluster(context.Background(),
-		core.ClusterConfig{Workers: workers, Steps: steps},
+		core.ClusterConfig{Workers: workers, Steps: steps, Fabric: fabric},
 		func(rank int, comm *collective.Comm) (*core.Trainer, error) {
 			cls := models.MLP(ds.Dim(), elHidden, 10)
 			cls.Net.Init(elSeed)

@@ -17,6 +17,7 @@ type Member struct {
 
 	hbInterval time.Duration
 	hbTimeout  time.Duration
+	parked     bool // welcome arrived with the parked marker
 
 	sendMu sync.Mutex // serialises member→coordinator writes
 
@@ -70,6 +71,7 @@ func Join(ctx context.Context, coordAddr, name, dataAddr string) (*Member, error
 	}
 	switch resp.T {
 	case msgWelcome:
+		m.parked = resp.Parked
 		m.hbInterval = time.Duration(resp.HBMs) * time.Millisecond
 		m.hbTimeout = time.Duration(resp.DeadMs) * time.Millisecond
 		if m.hbInterval <= 0 {
@@ -94,6 +96,11 @@ func Join(ctx context.Context, coordAddr, name, dataAddr string) (*Member, error
 
 // Name returns the member's stable cluster name.
 func (m *Member) Name() string { return m.name }
+
+// Parked reports whether the coordinator parked this join: the member
+// was accepted into a running job and will receive its first epoch
+// configuration when the autoscaler admits it at an epoch boundary.
+func (m *Member) Parked() bool { return m.parked }
 
 // HeartbeatTimeout returns the coordinator's failure-detection window —
 // the longest a worker should wait for a post-failure reconfiguration

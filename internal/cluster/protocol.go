@@ -42,6 +42,10 @@ type message struct {
 	Reason string  `json:"reason,omitempty"`
 	HBMs   int64   `json:"hb_ms,omitempty"`
 	DeadMs int64   `json:"dead_ms,omitempty"`
+	// Parked marks a welcome to a late joiner: the join is accepted but
+	// the worker is held outside the running epoch until the autoscaler
+	// admits it at the next epoch boundary (its first config message).
+	Parked bool    `json:"parked,omitempty"`
 	Config *Config `json:"config,omitempty"`
 }
 

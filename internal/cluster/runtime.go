@@ -170,6 +170,9 @@ func Run(ctx context.Context, cfg RuntimeConfig) (*RunResult, error) {
 		return nil, err
 	}
 	defer member.Close() //nolint:errcheck // idempotent; Leave already closed on success
+	if member.Parked() {
+		cfg.Logf("%s: join parked by coordinator; awaiting admission at the next epoch boundary", cfg.Name)
+	}
 
 	r := &runtime{cfg: cfg, ln: ln, member: member}
 	return r.run(ctx)
@@ -294,11 +297,12 @@ func (r *runtime) runEpoch(ctx context.Context, conf *Config) (res *RunResult, e
 		return nil, fmt.Errorf("cluster: epoch %d build returned an incomplete session", conf.Epoch)
 	}
 
-	resumeIter, err := r.restore(sess)
+	resumeIter, err := r.restore(sess, conf)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.agreeOnResume(epochCtx, comm, conf, resumeIter, sess.Params); err != nil {
+	resumeIter, err = r.syncResume(epochCtx, comm, conf, resumeIter, sess)
+	if err != nil {
 		return nil, r.classify(epochCtx, err)
 	}
 	if resumeIter > 0 {
@@ -371,8 +375,9 @@ func (r *runtime) trainLoop(epochCtx context.Context, conf *Config, sess *Sessio
 }
 
 // restore loads this worker's snapshot into the fresh session and
-// returns the iteration to resume from (0 when no snapshot exists).
-func (r *runtime) restore(sess *Session) (int, error) {
+// returns the iteration to resume from (0 when no snapshot exists —
+// the signature of a late joiner, which syncResume then catches up).
+func (r *runtime) restore(sess *Session, conf *Config) (int, error) {
 	st, err := checkpoint.LoadFile(r.cfg.CheckpointPath)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
@@ -395,12 +400,33 @@ func (r *runtime) restore(sess *Session) (int, error) {
 			return 0, fmt.Errorf("cluster: restore residual: %w", err)
 		}
 	}
+	if members, ok := st.Members(); ok && !sameMembers(members, conf.Names) {
+		// The deterministic re-shard moved this worker's data slice:
+		// the epoch's member set differs from the snapshot's. Purely
+		// informational — Build already derived the shard from the new
+		// (rank, world) — but invaluable when auditing a grown job.
+		r.cfg.Logf("%s: epoch %d: re-shard since snapshot: %v -> %v (rank %d of %d)",
+			r.cfg.Name, conf.Epoch, members, conf.Names, conf.Rank, conf.World)
+	}
 	return int(st.Iter), nil
+}
+
+// sameMembers reports whether two rank-ordered member lists coincide.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // snapshot atomically persists the session's full optimizer state —
 // weights, momentum, error-feedback residual — plus the cluster
-// coordinates of the save.
+// coordinates of the save and the epoch's re-shard assignment.
 func (r *runtime) snapshot(sess *Session, conf *Config) error {
 	st := &checkpoint.State{
 		Iter:     uint64(sess.Trainer.Iter()),
@@ -411,51 +437,128 @@ func (r *runtime) snapshot(sess *Session, conf *Config) error {
 		st.Residual = sess.Sparsifier.Residual()
 	}
 	st.SetClusterMeta(conf.Epoch, conf.World, conf.Rank, r.cfg.Name)
+	if err := st.SetMembers(conf.Names); err != nil {
+		return fmt.Errorf("cluster: snapshot at iteration %d: %w", st.Iter, err)
+	}
 	if err := checkpoint.SaveFile(r.cfg.CheckpointPath, st); err != nil {
 		return fmt.Errorf("cluster: snapshot at iteration %d: %w", st.Iter, err)
 	}
 	return nil
 }
 
-// agreeOnResume makes the epoch's members prove they are resuming from
-// the same snapshot: every rank contributes (iter, crc32(weights)) via
-// a Gather to rank 0, which validates and broadcasts the verdict. A
-// mismatch means checkpoint cadences diverged (or a foreign file was
-// supplied) — training from there would silently fork the replicas, so
-// the job fails loudly instead.
-func (r *runtime) agreeOnResume(ctx context.Context, comm *collective.Comm, conf *Config, iter int, weights []float32) error {
+// Resume-sync verdict layout: 'K' | u64 resume iter | u32 donor rank |
+// u32 laggard count. Anything not starting with 'K' is an error text.
+const syncVerdictLen = 17
+
+// syncResume replaces the shrink-era "all ranks must hold the same
+// snapshot" gate with its grow-capable generalisation. Every rank
+// contributes (iter, crc32(weights)) via a Gather to rank 0, which
+// declares the epoch's resume point:
+//
+//   - The resume iteration is the MOST ADVANCED snapshot present; the
+//     lowest rank holding it is the donor.
+//   - Every rank at the resume iteration must hold bit-identical
+//     weights (CRC), exactly the old divergence gate.
+//   - Ranks below it — late joiners with no checkpoint, or a survivor
+//     whose final pre-reconfiguration snapshot lost a race with the
+//     epoch teardown — are laggards: the donor broadcasts weights and
+//     momentum, and each laggard adopts them with a zeroed
+//     error-feedback residual (a joiner has no queued gradient mass by
+//     definition; DGC's error-feedback semantics make the zero state
+//     the correct fresh start).
+//
+// The laggard broadcast only happens when someone actually lags, so a
+// steady-state epoch costs exactly what the old agreement did: one
+// 12-byte Gather and one verdict Bcast. Returns the agreed resume
+// iteration, which for a laggard exceeds what restore() reported.
+func (r *runtime) syncResume(ctx context.Context, comm *collective.Comm, conf *Config, iter int, sess *Session) (int, error) {
 	blob := make([]byte, 12)
 	binary.LittleEndian.PutUint64(blob[0:8], uint64(iter))
-	binary.LittleEndian.PutUint32(blob[8:12], weightsCRC(weights))
+	binary.LittleEndian.PutUint32(blob[8:12], weightsCRC(sess.Params))
 	blobs, err := comm.Gather(ctx, 0, blob)
 	if err != nil {
-		return fmt.Errorf("cluster: epoch %d resume agreement: %w", conf.Epoch, err)
+		return 0, fmt.Errorf("cluster: epoch %d resume sync: %w", conf.Epoch, err)
 	}
-	verdict := []byte("ok")
+	verdict := []byte("malformed sync round")
 	if comm.Rank() == 0 {
-		for rank, b := range blobs {
-			if len(b) != 12 {
-				verdict = []byte(fmt.Sprintf("rank %d sent malformed agreement", rank))
-				break
-			}
-			if got := binary.LittleEndian.Uint64(b[0:8]); got != uint64(iter) {
-				verdict = []byte(fmt.Sprintf("rank %d resumes at iteration %d, rank 0 at %d", rank, got, iter))
-				break
-			}
-			if got := binary.LittleEndian.Uint32(b[8:12]); got != weightsCRC(weights) {
-				verdict = []byte(fmt.Sprintf("rank %d weights diverge from rank 0 at iteration %d", rank, iter))
-				break
-			}
-		}
+		verdict = resumeVerdict(blobs)
 	}
 	out, err := comm.Bcast(ctx, 0, verdict)
 	if err != nil {
-		return fmt.Errorf("cluster: epoch %d resume verdict: %w", conf.Epoch, err)
+		return 0, fmt.Errorf("cluster: epoch %d resume verdict: %w", conf.Epoch, err)
 	}
-	if string(out) != "ok" {
-		return fmt.Errorf("cluster: epoch %d resume agreement failed: %s", conf.Epoch, out)
+	if len(out) != syncVerdictLen || out[0] != 'K' {
+		return 0, fmt.Errorf("cluster: epoch %d resume sync failed: %s", conf.Epoch, out)
 	}
-	return nil
+	resume := int(binary.LittleEndian.Uint64(out[1:9]))
+	donor := int(binary.LittleEndian.Uint32(out[9:13]))
+	laggards := int(binary.LittleEndian.Uint32(out[13:17]))
+	if laggards == 0 {
+		return resume, nil
+	}
+
+	// Someone needs the cluster state. Weights and momentum are
+	// bit-identical on every up-to-date rank under synchronous training,
+	// so any donor yields the same bytes; the lowest rank is chosen only
+	// to make the broadcast root deterministic.
+	weights, err := comm.BcastFloat32s(ctx, donor, sess.Params)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: epoch %d state sync (weights): %w", conf.Epoch, err)
+	}
+	velocity, err := comm.BcastFloat32s(ctx, donor, sess.Trainer.Velocity())
+	if err != nil {
+		return 0, fmt.Errorf("cluster: epoch %d state sync (momentum): %w", conf.Epoch, err)
+	}
+	if iter < resume {
+		if len(weights) != len(sess.Params) {
+			return 0, fmt.Errorf("cluster: epoch %d state sync: donor sent %d weights, model has %d",
+				conf.Epoch, len(weights), len(sess.Params))
+		}
+		copy(sess.Params, weights)
+		if err := sess.Trainer.Restore(resume, velocity); err != nil {
+			return 0, fmt.Errorf("cluster: epoch %d state sync: %w", conf.Epoch, err)
+		}
+		if sess.Sparsifier != nil {
+			if err := sess.Sparsifier.RestoreResidual(make([]float32, len(sess.Params))); err != nil {
+				return 0, fmt.Errorf("cluster: epoch %d state sync: %w", conf.Epoch, err)
+			}
+		}
+		r.cfg.Logf("%s: epoch %d: adopted cluster state at iteration %d from rank %d (joined with local iteration %d)",
+			r.cfg.Name, conf.Epoch, resume, donor, iter)
+	}
+	return resume, nil
+}
+
+// resumeVerdict is rank 0's half of syncResume: fold the gathered
+// (iter, crc) pairs into a verdict blob.
+func resumeVerdict(blobs [][]byte) []byte {
+	resume, donor, laggards := uint64(0), -1, 0
+	for rank, b := range blobs {
+		if len(b) != 12 {
+			return []byte(fmt.Sprintf("rank %d sent malformed sync blob", rank))
+		}
+		if got := binary.LittleEndian.Uint64(b[0:8]); got > resume {
+			resume = got
+		}
+	}
+	var crc uint32
+	for rank, b := range blobs {
+		switch got := binary.LittleEndian.Uint64(b[0:8]); {
+		case got < resume:
+			laggards++
+		case donor == -1:
+			donor = rank
+			crc = binary.LittleEndian.Uint32(b[8:12])
+		case binary.LittleEndian.Uint32(b[8:12]) != crc:
+			return []byte(fmt.Sprintf("rank %d weights diverge from rank %d at iteration %d", rank, donor, resume))
+		}
+	}
+	verdict := make([]byte, syncVerdictLen)
+	verdict[0] = 'K'
+	binary.LittleEndian.PutUint64(verdict[1:9], resume)
+	binary.LittleEndian.PutUint32(verdict[9:13], uint32(donor))
+	binary.LittleEndian.PutUint32(verdict[13:17], uint32(laggards))
+	return verdict
 }
 
 // classify decides whether an epoch error is a reconfiguration (a newer

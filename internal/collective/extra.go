@@ -59,6 +59,34 @@ func (c *Comm) Reduce(ctx context.Context, root int, x []float32) error {
 	return nil
 }
 
+// BcastFloat32s broadcasts root's float32 vector to every rank along
+// the binomial Bcast tree and returns the received vector (the root's
+// own slice is returned as-is). Non-root ranks pass nil. It exists for
+// the elastic runtime's grow path: when a late joiner enters an epoch
+// it adopts the cluster's weights and momentum from a donor rank, and
+// those live as float32 vectors, not raw frames.
+func (c *Comm) BcastFloat32s(ctx context.Context, root int, vec []float32) ([]float32, error) {
+	var payload []byte
+	if c.Rank() == root {
+		payload = encodeF32(vec)
+	}
+	blob, err := c.Bcast(ctx, root, payload)
+	if err != nil {
+		return nil, fmt.Errorf("collective: bcast float32s: %w", err)
+	}
+	if c.Rank() == root {
+		return vec, nil
+	}
+	if len(blob)%4 != 0 {
+		return nil, fmt.Errorf("collective: bcast float32s: %d-byte payload not a float32 vector", len(blob))
+	}
+	out := make([]float32, len(blob)/4)
+	if err := copyDecodedF32(out, blob); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Gather collects every rank's payload at root (ranks send directly;
 // this is the flat star used by parameter servers). Root receives the
 // payloads indexed by rank; other ranks receive nil.

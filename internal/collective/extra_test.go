@@ -142,3 +142,50 @@ func TestReduceInvalidRoot(t *testing.T) {
 		return nil
 	})
 }
+
+func TestBcastFloat32sAllRootsAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for root := 0; root < p; root++ {
+			t.Run(fmt.Sprintf("p=%d/root=%d", p, root), func(t *testing.T) {
+				const n = 41
+				want := make([]float32, n)
+				src := prng.New(uint64(p*1000 + root))
+				for i := range want {
+					want[i] = float32(src.NormFloat64())
+				}
+				runSPMD(t, p, func(c *Comm) error {
+					var vec []float32
+					if c.Rank() == root {
+						vec = append([]float32(nil), want...)
+					}
+					got, err := c.BcastFloat32s(context.Background(), root, vec)
+					if err != nil {
+						return err
+					}
+					if len(got) != n {
+						return fmt.Errorf("rank %d got %d floats, want %d", c.Rank(), len(got), n)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							return fmt.Errorf("rank %d elem %d: %v, want %v (must be bit-exact)", c.Rank(), i, got[i], want[i])
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestBcastFloat32sEmptyVector(t *testing.T) {
+	runSPMD(t, 3, func(c *Comm) error {
+		got, err := c.BcastFloat32s(context.Background(), 0, nil)
+		if err != nil {
+			return err
+		}
+		if len(got) != 0 {
+			return fmt.Errorf("rank %d got %d floats from empty bcast", c.Rank(), len(got))
+		}
+		return nil
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"gtopkssgd/internal/bench"
+	"gtopkssgd/internal/sparse"
 )
 
 func main() {
@@ -36,10 +37,13 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "random seed")
 		evalN     = flag.Int("eval", 0, "held-out eval batches after training (0 disables)")
 		hierGroup = flag.Int("hier-group", 0, "gtopk-hier group size G (0 picks the default of 4)")
+		wire      = flag.String("wire", "", "sparse wire codec for the simulated fabric: v1, v2, v2-fp16, v3 or v3-<value> (empty keeps v1)")
+		valueCdc  = flag.String("value-codec", "", "compound value codec (fp32|fp16|qsgd8|qsgd4|qsgd2|ternary|sign); requires -wire v3")
 	)
 	flag.Parse()
 
-	if err := validate(*model, *algo, *workers, *batch, *epochs, *iters, *density, *lr, *evalN, *hierGroup); err != nil {
+	wireCodec, err := validate(*model, *algo, *workers, *batch, *epochs, *iters, *density, *lr, *evalN, *hierGroup, *wire, *valueCdc)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "gtopk-train: %v\n\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -58,6 +62,7 @@ func main() {
 		Seed:          *seed,
 		EvalBatches:   *evalN,
 		HierGroup:     *hierGroup,
+		Wire:          wireCodec,
 	}
 	if *warmup {
 		spec.WarmupDensities = bench.PaperWarmup()
@@ -69,39 +74,58 @@ func main() {
 }
 
 // validate rejects invocation errors up front (exit 2 with usage)
-// instead of surfacing them as a late runtime failure.
-func validate(model, algo string, workers, batch, epochs, iters int, density, lr float64, evalN, hierGroup int) error {
+// instead of surfacing them as a late runtime failure, and resolves the
+// -wire/-value-codec pair into the TrainSpec codec (0 = v1 default).
+func validate(model, algo string, workers, batch, epochs, iters int, density, lr float64, evalN, hierGroup int, wire, valueCodec string) (sparse.Codec, error) {
 	if !slices.Contains(bench.Models(), model) {
-		return fmt.Errorf("unknown -model %q (want %s)", model, strings.Join(bench.Models(), ", "))
+		return 0, fmt.Errorf("unknown -model %q (want %s)", model, strings.Join(bench.Models(), ", "))
 	}
 	if !slices.Contains(bench.Algos(), algo) {
-		return fmt.Errorf("unknown -algo %q (want %s)", algo, strings.Join(bench.Algos(), ", "))
+		return 0, fmt.Errorf("unknown -algo %q (want %s)", algo, strings.Join(bench.Algos(), ", "))
 	}
 	if workers < 1 {
-		return fmt.Errorf("-workers %d out of range: need >= 1", workers)
+		return 0, fmt.Errorf("-workers %d out of range: need >= 1", workers)
 	}
 	if batch < 1 {
-		return fmt.Errorf("-batch %d out of range: need >= 1", batch)
+		return 0, fmt.Errorf("-batch %d out of range: need >= 1", batch)
 	}
 	if epochs < 1 || iters < 1 {
-		return fmt.Errorf("-epochs/-iters must be >= 1 (got %d/%d)", epochs, iters)
+		return 0, fmt.Errorf("-epochs/-iters must be >= 1 (got %d/%d)", epochs, iters)
 	}
 	if algo != "dense" && (density <= 0 || density > 1) {
-		return fmt.Errorf("-density %v out of range: need 0 < rho <= 1", density)
+		return 0, fmt.Errorf("-density %v out of range: need 0 < rho <= 1", density)
 	}
 	if lr <= 0 {
-		return fmt.Errorf("-lr %v out of range: need > 0", lr)
+		return 0, fmt.Errorf("-lr %v out of range: need > 0", lr)
 	}
 	if evalN < 0 {
-		return fmt.Errorf("-eval %d out of range: need >= 0", evalN)
+		return 0, fmt.Errorf("-eval %d out of range: need >= 0", evalN)
 	}
 	if hierGroup < 0 {
-		return fmt.Errorf("-hier-group %d out of range: need >= 0", hierGroup)
+		return 0, fmt.Errorf("-hier-group %d out of range: need >= 0", hierGroup)
 	}
 	if hierGroup > 0 && algo != "gtopk-hier" {
-		return fmt.Errorf("-hier-group requires -algo gtopk-hier")
+		return 0, fmt.Errorf("-hier-group requires -algo gtopk-hier")
 	}
-	return nil
+	var codec sparse.Codec
+	if wire != "" {
+		c, err := sparse.ParseCodec(wire)
+		if err != nil {
+			return 0, fmt.Errorf("-wire: %w", err)
+		}
+		codec = c
+	}
+	if valueCodec != "" {
+		vc, err := sparse.ParseValueCodec(valueCodec)
+		if err != nil {
+			return 0, fmt.Errorf("-value-codec: %w", err)
+		}
+		if codec.WireVersion() != 3 {
+			return 0, fmt.Errorf("-value-codec %s requires -wire v3 (got -wire %q)", vc, wire)
+		}
+		codec = sparse.CodecForWireValue(3, vc)
+	}
+	return codec, nil
 }
 
 func run(spec bench.TrainSpec) error {

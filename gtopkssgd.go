@@ -177,10 +177,68 @@ const (
 	CodecV2 = sparse.CodecV2
 	// CodecV2F16 is the delta/varint wire format with binary16 values.
 	CodecV2F16 = sparse.CodecV2F16
+	// CodecV3 is the compound wire format with lossless fp32 values.
+	CodecV3 = sparse.CodecV3
+	// CodecV3F16 is the compound wire format with binary16 values.
+	CodecV3F16 = sparse.CodecV3F16
+	// CodecV3Q8 is the compound wire format with QSGD 8-bit values.
+	CodecV3Q8 = sparse.CodecV3Q8
+	// CodecV3Q4 is the compound wire format with QSGD 4-bit values.
+	CodecV3Q4 = sparse.CodecV3Q4
+	// CodecV3Q2 is the compound wire format with QSGD 2-bit values.
+	CodecV3Q2 = sparse.CodecV3Q2
+	// CodecV3T is the compound wire format with ternary values.
+	CodecV3T = sparse.CodecV3T
+	// CodecV3S is the compound wire format with 1-bit sign values.
+	CodecV3S = sparse.CodecV3S
 )
 
-// ParseCodec parses the -wire flag spellings: v1, v2, v2-fp16.
+// ParseCodec parses the -wire flag spellings: v1, v2, v2-fp16, v3, or
+// v3-<value> for any ParseValueCodec spelling except fp32.
 func ParseCodec(s string) (Codec, error) { return sparse.ParseCodec(s) }
+
+// ValueCodec names the value-stream treatment of a compound (v3) codec:
+// how the selected gradient values are transformed and packed after
+// top-k selection picks the support.
+type ValueCodec = sparse.ValueCodec
+
+// ParseValueCodec parses the -value-codec flag spellings: fp32, fp16,
+// qsgd8, qsgd4, qsgd2, ternary, sign.
+func ParseValueCodec(s string) (ValueCodec, error) { return sparse.ParseValueCodec(s) }
+
+// CodecForWireValue resolves a negotiated wire version plus a value
+// codec preference into the effective codec, degrading lossy
+// preferences losslessly on pre-v3 meshes.
+func CodecForWireValue(version byte, vc ValueCodec) Codec {
+	return sparse.CodecForWireValue(version, vc)
+}
+
+// Compressor is the pluggable select→transform→encode value-stream
+// stage of the compound pipeline: it maps a hop's selected values onto
+// its quantization lattice (mutating them in place so the sender's copy
+// matches what every receiver decodes) and reports the levels to encode.
+// Install one with Comm.SetCompressor; quantization error belongs in
+// the error-feedback residual (Sparsifier.FoldError), which the
+// aggregators wire up automatically.
+type Compressor = sparse.Compressor
+
+// NewCompressor builds the standard Compressor stack for a value codec
+// (stochastic QSGD rounding, Bernoulli ternary, deterministic sign).
+// Fork rank-distinct streams off one seeded stack rather than mixing
+// the rank into the seed.
+func NewCompressor(vc ValueCodec, seed uint64) Compressor { return quant.NewStack(vc, seed) }
+
+// DensityController adapts a bucket's selection count toward a
+// wire-byte budget (DGC-style): feed it replica-agreed per-round byte
+// observations and read the seeded, deterministic k schedule back. The
+// bucketed aggregator embeds one per bucket via SetAdaptiveDensity.
+type DensityController = core.DensityController
+
+// NewDensityController creates a density controller starting at k0,
+// clamped to [kMin, kMax], steering toward budgetBytes per round.
+func NewDensityController(k0, kMin, kMax int, budgetBytes int64, seed uint64) (*DensityController, error) {
+	return core.NewDensityController(k0, kMin, kMax, budgetBytes, seed)
+}
 
 // ShardSelector is the parallel sharded top-k selection engine: the
 // dense gradient splits into per-core shards, each runs the threshold

@@ -97,4 +97,34 @@ func TestBenchArtifactSchema(t *testing.T) {
 	if !crossAt64 {
 		t.Fatal("no (G, rho) crossover at P=64 recorded — the committed sweep must show the P>=64 regime opening")
 	}
+
+	// compound section: the codec-v3 Compressor-stack sweep plus the
+	// adaptive-density closed-loop runs.
+	cp := report.Compound
+	if cp == nil {
+		t.Fatal("compound section missing (a regeneration dropped it)")
+	}
+	if cp.Dim <= 0 || cp.Workers < 2 || cp.Rounds <= 0 {
+		t.Fatalf("compound workload stamp malformed: %+v", cp)
+	}
+	if len(cp.Stacks) == 0 || len(cp.Adaptive) == 0 {
+		t.Fatalf("compound stacks/adaptive empty: %d/%d", len(cp.Stacks), len(cp.Adaptive))
+	}
+	for _, s := range cp.Stacks {
+		if s.Name == "" || s.Codec == "" || s.WireBytesPerRank <= 0 || s.BytesReduction <= 0 {
+			t.Fatalf("malformed compound stack row %+v", s)
+		}
+	}
+	acceptance := false
+	for _, a := range cp.Adaptive {
+		if a.K0 < 1 || a.BudgetBytes < 1 || a.V1BytesPerRound <= 0 || a.SteadyBytesPerRound <= 0 || a.ReductionVsV1 <= 0 {
+			t.Fatalf("malformed compound adaptive row %+v", a)
+		}
+		if a.Codec == "v3-qsgd8" && a.Rho == 0.001 && a.ReductionVsV1 >= 8 {
+			acceptance = true
+		}
+	}
+	if !acceptance {
+		t.Fatal("no adaptive v3-qsgd8 rho=0.001 row with >= 8x wire-byte reduction over v1 — the compound acceptance bar")
+	}
 }

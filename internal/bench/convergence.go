@@ -13,6 +13,8 @@ import (
 	"gtopkssgd/internal/nn"
 	"gtopkssgd/internal/nn/models"
 	"gtopkssgd/internal/quant"
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/transport"
 )
 
 // TrainSpec configures one distributed-training run of a convergence
@@ -47,6 +49,11 @@ type TrainSpec struct {
 	// HierGroup is the group size of the gtopk-hier algorithm (0 picks
 	// the default of 4; ignored by every other algorithm).
 	HierGroup int
+	// Wire, when non-zero, selects the sparse wire codec the simulated
+	// cluster's fabric negotiates (e.g. sparse.CodecV3Q8 trains through
+	// the compound quantized pipeline, its error folded into the
+	// residual). Zero keeps the v1 default.
+	Wire sparse.Codec
 }
 
 // Validate rejects malformed specifications.
@@ -175,11 +182,20 @@ func RunTraining(ctx context.Context, spec TrainSpec) (*TrainCurve, error) {
 		return core.NewTrainer(cfg, agg, params, gradFn)
 	}
 
-	results, err := core.RunCluster(ctx, core.ClusterConfig{
+	cfg := core.ClusterConfig{
 		Workers: spec.Workers,
 		Steps:   steps,
 		Model:   &simModel,
-	}, setup)
+	}
+	if spec.Wire != 0 {
+		fab, err := transport.NewInProcWire(spec.Workers, spec.Wire.WireVersion())
+		if err != nil {
+			return nil, err
+		}
+		defer fab.Close() //nolint:errcheck // in-process close never fails
+		cfg.Fabric = fab
+	}
+	results, err := core.RunCluster(ctx, cfg, setup)
 	if err != nil {
 		return nil, err
 	}
@@ -203,6 +219,12 @@ func RunTraining(ctx context.Context, spec TrainSpec) (*TrainCurve, error) {
 // buildAggregator constructs the aggregator named by spec.Algo with the
 // warmup schedule installed where supported.
 func buildAggregator(spec TrainSpec, comm *collective.Comm, dim int, bounds []int) (core.Aggregator, error) {
+	if spec.Wire != 0 {
+		comm.SetFP16Values(spec.Wire == sparse.CodecV2F16 || spec.Wire == sparse.CodecV3F16)
+		if spec.Wire.Value().Quantized() {
+			comm.SetCompressor(quant.NewStack(spec.Wire.Value(), spec.Seed).Fork(uint64(comm.Rank())))
+		}
+	}
 	k := core.DensityToK(dim, spec.Density)
 	schedule := densitySchedule(spec, dim)
 	switch spec.Algo {

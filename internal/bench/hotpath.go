@@ -84,6 +84,10 @@ type hotPathReport struct {
 	// Hierarchy is the flat-vs-hierarchical crossover sweep maintained
 	// by the hierarchy experiment; the other experiments preserve it.
 	Hierarchy *HierarchySection `json:"hierarchy,omitempty"`
+	// Compound is the codec-v3 Compressor-stack + adaptive-density
+	// section maintained by the compound experiment; the other
+	// experiments preserve it.
+	Compound *CompoundSection `json:"compound,omitempty"`
 }
 
 // loadHotPathReport parses an existing BENCH_gtopk.json so one

@@ -195,6 +195,11 @@ func Experiments() []Experiment {
 			Run:         WriteWireCodecJSON,
 		},
 		{
+			ID:          "compound",
+			Description: "Hot path: compound v3 stacks (gTop-k x quantized values) + adaptive density; updates BENCH_gtopk.json",
+			Run:         WriteCompoundJSON,
+		},
+		{
 			ID:          "hierarchy",
 			Description: "Extension: two-level hierarchical gTop-k vs flat tree crossover sweep; updates BENCH_gtopk.json",
 			Run:         WriteHierarchyJSON,

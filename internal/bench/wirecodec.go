@@ -15,6 +15,7 @@ import (
 	"gtopkssgd/internal/core"
 	"gtopkssgd/internal/metrics"
 	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/quant"
 	"gtopkssgd/internal/sparse"
 	"gtopkssgd/internal/transport"
 )
@@ -158,7 +159,10 @@ func measureWireCodec(fabric string, dim int, rho float64, codec sparse.Codec, s
 		outs := make([]sparse.Vector, p)
 		for r := range comms {
 			comms[r] = collective.New(fab.Conn(r))
-			comms[r].SetFP16Values(codec == sparse.CodecV2F16)
+			comms[r].SetFP16Values(codec == sparse.CodecV2F16 || codec == sparse.CodecV3F16)
+			if codec.Value().Quantized() {
+				comms[r].SetCompressor(quant.NewStack(codec.Value(), seed).Fork(uint64(r)))
+			}
 			comms[r].SetWireTally(tally)
 		}
 		b.ResetTimer()

@@ -84,6 +84,7 @@ func (c *Comm) ForkGroup(g int) (*GroupComms, error) {
 			nextTag:  base,
 			tagLimit: base + groupTagSpan,
 			fp16:     c.fp16,
+			comp:     forkCompressor(c.comp, 0),
 			tally:    c.tally,
 		},
 		Group:     group,
@@ -103,6 +104,7 @@ func (c *Comm) ForkGroup(g int) (*GroupComms, error) {
 			nextTag:  base + groupTagSpan,
 			tagLimit: base + 2*groupTagSpan,
 			fp16:     c.fp16,
+			comp:     forkCompressor(c.comp, 1),
 			tally:    c.tally,
 		}
 	}

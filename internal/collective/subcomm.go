@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gtopkssgd/internal/netsim"
+	"gtopkssgd/internal/sparse"
 )
 
 // subcommTagSpan is the tag space reserved for each forked child
@@ -39,10 +40,22 @@ func (c *Comm) Fork(n int) ([]*Comm, error) {
 			nextTag:  base + i*subcommTagSpan,
 			tagLimit: base + (i+1)*subcommTagSpan,
 			fp16:     c.fp16,
+			comp:     forkCompressor(c.comp, uint64(i)),
 			tally:    c.tally,
 		}
 	}
 	return kids, nil
+}
+
+// forkCompressor derives child i's compound-pipeline transform; nil
+// parents stay nil. Each child gets its own stochastic stream so
+// concurrently running children never contend on (or reorder draws
+// from) a shared rng.
+func forkCompressor(comp sparse.Compressor, stream uint64) sparse.Compressor {
+	if comp == nil {
+		return nil
+	}
+	return comp.Fork(stream)
 }
 
 // Model returns the α-β cost model attached via WithClock; ok is false

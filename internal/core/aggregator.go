@@ -60,6 +60,7 @@ type TopKAggregator struct {
 	mu       float32
 	velocity []float32
 	dense    []float32
+	orig     []float32 // pre-transform value snapshot for FoldError (reused)
 }
 
 // NewTopKAggregator creates a Top-k aggregator selecting k of dim
@@ -123,9 +124,13 @@ func (a *TopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]float
 	if err != nil {
 		return nil, fmt.Errorf("core: topk aggregate: %w", err)
 	}
+	a.orig = snapshotForFold(a.comm.WireCodec(), local, a.orig)
 	sum, err := TopKAllReduce(ctx, a.comm, local)
 	if err != nil {
 		return nil, err
+	}
+	if a.orig != nil {
+		a.sp.FoldError(local.Indices, a.orig, local.Values)
 	}
 	for i := range a.dense {
 		a.dense[i] = 0
@@ -152,6 +157,7 @@ type GTopKAggregator struct {
 	mu        float32
 	velocity  []float32
 	dense     []float32
+	orig      []float32     // pre-transform value snapshot for FoldError (reused)
 	global    sparse.Vector // reused tree-collective result (zero steady-state allocs)
 }
 
@@ -232,6 +238,7 @@ func (a *GTopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]floa
 	if err != nil {
 		return nil, fmt.Errorf("core: gtopk aggregate: %w", err)
 	}
+	a.orig = snapshotForFold(a.comm.WireCodec(), local, a.orig)
 	var global *sparse.Vector
 	if a.naive {
 		global, err = NaiveGTopKAllReduce(ctx, a.comm, local, a.k)
@@ -243,6 +250,14 @@ func (a *GTopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]floa
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Compound pipeline: the wire transform replaced the values this
+	// rank shipped with their lattice points in place; fold the
+	// quantization error into the residual BEFORE PutBack, so a
+	// globally-dropped index gets lattice value + error = its full
+	// original mass back, and a survivor keeps exactly the error.
+	if a.orig != nil {
+		a.sp.FoldError(local.Indices, a.orig, local.Values)
 	}
 	// Algorithm 4 line 10: locally selected values whose index did not
 	// survive globally go back into the residual.
@@ -259,6 +274,20 @@ func (a *GTopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]floa
 		a.dense[i] *= inv
 	}
 	return a.dense, nil
+}
+
+// snapshotForFold copies local's values into buf (reusing its capacity)
+// when the codec's wire transform may rewrite them in place — lossy v3
+// codecs quantize the sender's copy so it matches what receivers decode
+// — and returns nil when no fold is needed (the caller skips FoldError).
+// The snapshot is the "orig" argument of Sparsifier.FoldError; on ranks
+// whose tree role never sends, values stay untouched and the fold adds
+// exact zeros, keeping the residual update uniform and deterministic.
+func snapshotForFold(codec sparse.Codec, local *sparse.Vector, buf []float32) []float32 {
+	if codec.WireVersion() != 3 || !codec.Lossy() {
+		return nil
+	}
+	return append(buf[:0], local.Values...)
 }
 
 // applyMomentumCorrection folds grad into the local velocity and returns

@@ -23,7 +23,17 @@ import (
 // Communication cost (Eq. 6): log(P)·α + 2(P−1)k·β.
 func TopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector) (*sparse.Vector, error) {
 	codec := comm.WireCodec()
-	own := sparse.EncodeCodec(codec, local)
+	var own []byte
+	if codec.Value().Quantized() {
+		// Compound pipeline: quantize the selected values in place (the
+		// caller's copy now equals what every decoder reconstructs; the
+		// aggregator folds the difference into its residual) and ship
+		// levels instead of floats.
+		scale, levels := transformForWire(comm, codec, local.Values)
+		own = sparse.EncodeSlicesV3(codec, local.Dim, local.Indices, local.Values, scale, levels)
+	} else {
+		own = sparse.EncodeCodec(codec, local)
+	}
 	comm.TallyWire(sparse.EncodedSize(local.NNZ()), len(own))
 	blobs, err := comm.AllGather(ctx, own)
 	if err != nil {
@@ -57,17 +67,45 @@ func TopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vec
 
 // decodeWireFrame parses one received sparse frame under the mesh codec:
 // v1 payloads come back as zero-copy views into blob (the PR 3 hot
-// path, unchanged), v2 payloads are materialised into scratch — delta
-// codes cannot be aliased — which is safe to reuse across frames and
-// lets the caller release blob immediately.
+// path, unchanged), v2/v3 payloads are materialised into scratch — delta
+// codes cannot be aliased (and v3 levels dequantize as they stream) —
+// which is safe to reuse across frames and lets the caller release blob
+// immediately.
 func decodeWireFrame(codec sparse.Codec, blob []byte, scratch *sparse.Vector) (sparse.Vector, error) {
-	if codec == sparse.CodecV1 {
+	switch codec.WireVersion() {
+	case 1:
 		return sparse.DecodeView(blob)
-	}
-	if err := sparse.DecodeV2Into(scratch, blob); err != nil {
-		return sparse.Vector{}, err
+	case 3:
+		if err := sparse.DecodeV3Into(scratch, blob); err != nil {
+			return sparse.Vector{}, err
+		}
+	default:
+		if err := sparse.DecodeV2Into(scratch, blob); err != nil {
+			return sparse.Vector{}, err
+		}
 	}
 	return *scratch, nil
+}
+
+// transformForWire pins v's values to the codec's wire value precision
+// IN PLACE — the sender-side half of the replica-agreement contract: a
+// lossy codec's sender must keep exactly the bits its receivers decode.
+// Under a v3 codec with an attached Compressor the values land on the
+// quantization lattice and the returned (scale, levels) feed the v3
+// encoder; under fp16 codecs the values are rounded through binary16
+// (idempotent, so encoding afterwards changes nothing). Lossless codecs
+// leave values untouched.
+func transformForWire(comm *collective.Comm, codec sparse.Codec, values []float32) (float32, []int16) {
+	if !codec.Lossy() {
+		return 0, nil
+	}
+	if codec.WireVersion() == 3 {
+		if comp := comm.Compressor(); comp != nil {
+			return comp.Transform(values)
+		}
+	}
+	f16.RoundSlice(values)
+	return 0, nil
 }
 
 // NaiveGTopKAllReduce implements Algorithm 2's aggregation: a full
@@ -264,11 +302,21 @@ func GTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local *spars
 // contiguous spans of the entry list, so each is itself a valid sparse
 // encoding and their concatenation reproduces v exactly.
 func sendSparseChunks(ctx context.Context, comm *collective.Comm, codec sparse.Codec, v *sparse.Vector, dst, tag, chunks int) (int, error) {
+	// v3 hops quantize the whole hop vector once (in place — the sender's
+	// retained copy must equal what the receiver decodes); every chunk
+	// frame then shares the hop's scale with its own level span. v2-fp16
+	// keeps its original semantics: rounding happens inside the encoder
+	// and the sender's in-memory copy stays fp32.
+	var scale float32
+	var levels []int16
+	if codec.WireVersion() == 3 && codec.Lossy() {
+		scale, levels = transformForWire(comm, codec, v.Values)
+	}
 	nnz := v.NNZ()
 	sent := 0
 	for i := 0; i < chunks; i++ {
 		lo, hi := i*nnz/chunks, (i+1)*nnz/chunks
-		buf := sparse.EncodeSlicesCodec(codec, v.Dim, v.Indices[lo:hi], v.Values[lo:hi])
+		buf := encodeSparseChunk(codec, v, lo, hi, scale, levels)
 		sent += len(buf)
 		comm.TallyWire(sparse.EncodedSize(hi-lo), len(buf))
 		if err := comm.SendTagPooled(ctx, dst, tag, buf); err != nil {
@@ -276,6 +324,16 @@ func sendSparseChunks(ctx context.Context, comm *collective.Comm, codec sparse.C
 		}
 	}
 	return sent, nil
+}
+
+// encodeSparseChunk encodes entries [lo,hi) of v under codec; quantized
+// v3 codecs carry the hop's scale plus the chunk's span of the hop
+// levels, everything else encodes the float values directly.
+func encodeSparseChunk(codec sparse.Codec, v *sparse.Vector, lo, hi int, scale float32, levels []int16) []byte {
+	if codec.Value().Quantized() {
+		return sparse.EncodeSlicesV3(codec, v.Dim, v.Indices[lo:hi], v.Values[lo:hi], scale, levels[lo:hi])
+	}
+	return sparse.EncodeSlicesCodec(codec, v.Dim, v.Indices[lo:hi], v.Values[lo:hi])
 }
 
 // bcastSparseChunks distributes rank 0's cur to every rank's out along a
@@ -301,12 +359,16 @@ func bcastSparseChunks(ctx context.Context, comm *collective.Comm, codec sparse.
 	recvRound := 0 // the round in which this rank first holds data
 	wireBytes := 0 // actual encoded payload volume (one payload's worth)
 	if r == 0 {
+		var scale float32
+		var levels []int16
 		if codec.Lossy() && p > 1 {
 			// cur is pooled scratch owned by this collective (with p > 1
-			// rank 0 always merged in round 0), so the in-place rounding
-			// never touches the caller's input. Encoding afterwards is a
-			// no-op precision-wise: the conversion is idempotent.
-			f16.RoundSlice(cur.Values)
+			// rank 0 always merged in round 0), so the in-place pinning
+			// never touches the caller's input. The root keeps exactly
+			// the bits every other rank decodes off the wire — rounded
+			// binary16 or the quantizer's lattice points — so the
+			// broadcast stays replica-exact under every lossy codec.
+			scale, levels = transformForWire(comm, codec, cur.Values)
 		}
 		sparse.CopyInto(out, cur)
 		for i := 0; i < chunks; i++ {
@@ -316,7 +378,7 @@ func bcastSparseChunks(ctx context.Context, comm *collective.Comm, codec sparse.
 			for j := 0; j < rounds; j++ {
 				if child := 1 << j; child < p {
 					if buf == nil {
-						buf = sparse.EncodeSlicesCodec(codec, cur.Dim, cur.Indices[lo:hi], cur.Values[lo:hi])
+						buf = encodeSparseChunk(codec, cur, lo, hi, scale, levels)
 						wireBytes += len(buf)
 						// Tally once per encoded frame (compression
 						// event), not per child transmission — the tally

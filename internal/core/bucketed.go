@@ -62,6 +62,10 @@ type bucketState struct {
 	k        int
 	out      sparse.Vector // reused per-bucket collective result
 
+	dc   *DensityController // adaptive per-bucket density (nil = static k)
+	iter int                // rounds completed by this bucket
+	orig []float32          // pre-transform value snapshot for FoldError (reused)
+
 	remaining int // uncovered elements in the current iteration
 	launched  bool
 }
@@ -214,8 +218,50 @@ func (a *BucketedAggregator) SetMomentumCorrection(mu float32) {
 	}
 }
 
+// SetAdaptiveDensity replaces every bucket's static selection count with
+// a DensityController steering that bucket's encoded frame size toward
+// its share of budgetBytes (split proportionally to bucket size, ≥ 1
+// byte). Each bucket's controller is seeded from seed mixed with the
+// bucket index — pass the SAME seed on every rank (never mix the rank
+// in): the controllers' observations come from the bit-identical global
+// result, so identical seeds make the per-round k schedule identical on
+// every replica, which the determinism tests pin. Call before training,
+// not between Begin and Finish.
+func (a *BucketedAggregator) SetAdaptiveDensity(budgetBytes int64, seed uint64) error {
+	if budgetBytes < 1 {
+		return fmt.Errorf("core: bucketed: adaptive density budget %d bytes; need >= 1", budgetBytes)
+	}
+	dim := int64(a.bounds[len(a.bounds)-1])
+	for _, b := range a.buckets {
+		size := int64(b.hi - b.lo)
+		budget := budgetBytes * size / dim
+		if budget < 1 {
+			budget = 1
+		}
+		dc, err := NewDensityController(b.k, 1, b.hi-b.lo, budget, seed^mixRound(b.idx))
+		if err != nil {
+			return fmt.Errorf("core: bucketed: bucket %d: %w", b.idx, err)
+		}
+		b.dc = dc
+		b.iter = 0
+	}
+	return nil
+}
+
 // NumBuckets returns the number of buckets in the pipeline.
 func (a *BucketedAggregator) NumBuckets() int { return len(a.buckets) }
+
+// BucketKs returns each bucket's current selection count — the adaptive
+// controller's latest resolved k when SetAdaptiveDensity is active, the
+// static DensityToK value otherwise. Call between iterations, not while
+// buckets are in flight.
+func (a *BucketedAggregator) BucketKs() []int {
+	ks := make([]int, len(a.buckets))
+	for i, b := range a.buckets {
+		ks[i] = b.k
+	}
+	return ks
+}
 
 // Bounds returns the cumulative bucket offsets.
 func (a *BucketedAggregator) Bounds() []int { return append([]int(nil), a.bounds...) }
@@ -327,6 +373,13 @@ func (a *BucketedAggregator) runBucket(ctx context.Context, b *bucketState, grad
 		clockBefore = b.clock.Now()
 	}
 
+	// Adaptive density: the controller's schedule is a pure function of
+	// the (replica-agreed) observation trace, so every rank resolves the
+	// same k for the same bucket round and selections stay aligned.
+	if b.dc != nil {
+		b.k = b.dc.KFor(b.iter)
+	}
+
 	// Per-bucket local top-k (these selections run concurrently across
 	// buckets), then the tree collective on the bucket's own tag space.
 	seg := applyMomentumCorrection(a.mu, b.velocity, grad[b.lo:b.hi])
@@ -335,6 +388,8 @@ func (a *BucketedAggregator) runBucket(ctx context.Context, b *bucketState, grad
 		out.err = fmt.Errorf("core: bucket %d select: %w", b.idx, err)
 		return out
 	}
+	codec := b.comm.WireCodec()
+	b.orig = snapshotForFold(codec, local, b.orig)
 	if b.gc != nil {
 		err = HierarchicalGTopKAllReduceInto(ctx, b.comm, b.gc, local, b.k, ChunksFor(b.k), &b.out)
 	} else {
@@ -350,7 +405,22 @@ func (a *BucketedAggregator) runBucket(ctx context.Context, b *bucketState, grad
 		foldHierStats(b.comm, b.gc)
 	}
 	global := &b.out
+	// Quantization error first, then put-back — see GTopKAggregator.
+	if b.orig != nil {
+		b.sp.FoldError(local.Indices, b.orig, local.Values)
+	}
 	b.sp.PutBack(local, global.Indices)
+	if b.dc != nil {
+		// Feed the controller sizes derived from the bit-identical global
+		// result — never a rank's local WireTally, whose tree role makes
+		// it differ across ranks. raw is the v1-flat equivalent; wire is
+		// the active codec's frame size over the same support (v3 value
+		// sections depend only on nnz, so this is replica-agreed too).
+		raw := int64(sparse.EncodedSize(len(global.Indices)))
+		wire := int64(sparse.EncodedSizeCodec(codec, b.hi-b.lo, global.Indices))
+		b.dc.Observe(b.iter, raw, wire)
+	}
+	b.iter++
 
 	dst := a.dense[b.lo:b.hi]
 	for i := range dst {

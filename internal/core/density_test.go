@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/prng"
+)
+
+// densityTrace builds a deterministic observation trace: per-round
+// (raw, wire) byte pairs wobbling around the budget so the control law
+// keeps producing fractional targets (the stochastic rounding is what
+// the determinism tests must exercise).
+func densityTrace(seed uint64, rounds int, budget int64) [][2]int64 {
+	rng := prng.New(seed)
+	trace := make([][2]int64, rounds)
+	for r := range trace {
+		wire := budget/2 + int64(rng.Intn(int(budget)))
+		trace[r] = [2]int64{wire * 3, wire}
+	}
+	return trace
+}
+
+// TestDensityControllerSeededDeterminism: two controllers with the same
+// (seed, k0, budget) fed the identical observation trace must produce
+// the bit-identical per-round k schedule — the replica-agreement
+// property the bucketed aggregator's adaptive density stands on — while
+// a controller with a different seed must diverge somewhere (the
+// stochastic rounding really is seeded, not constant).
+func TestDensityControllerSeededDeterminism(t *testing.T) {
+	const rounds, k0, kMax = 200, 64, 4096
+	const budget = 1000
+	mk := func(seed uint64) *DensityController {
+		dc, err := NewDensityController(k0, 1, kMax, budget, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dc
+	}
+	a, b, other := mk(42), mk(42), mk(43)
+	trace := densityTrace(7, rounds, budget)
+	diverged := false
+	for r := 0; r < rounds; r++ {
+		ka, kb, ko := a.KFor(r), b.KFor(r), other.KFor(r)
+		if ka != kb {
+			t.Fatalf("round %d: same seed disagrees: %d vs %d", r, ka, kb)
+		}
+		if ka != ko {
+			diverged = true
+		}
+		a.Observe(r, trace[r][0], trace[r][1])
+		b.Observe(r, trace[r][0], trace[r][1])
+		other.Observe(r, trace[r][0], trace[r][1])
+	}
+	if !diverged {
+		t.Fatalf("different seeds never diverged over %d rounds — rounding is not seeded", rounds)
+	}
+}
+
+// TestDensityControllerLaggingObserver is the chaos variant: a rank
+// whose tally trails one full round behind (it records round r−1's
+// observation only after computing round r's k) must still produce the
+// identical schedule — ControlLag keeps one round of slack beyond the
+// minimum exactly for this.
+func TestDensityControllerLaggingObserver(t *testing.T) {
+	const rounds, k0, kMax = 150, 32, 2048
+	const budget = 800
+	mk := func() *DensityController {
+		dc, err := NewDensityController(k0, 1, kMax, budget, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dc
+	}
+	prompt, laggard := mk(), mk()
+	trace := densityTrace(11, rounds, budget)
+	for r := 0; r < rounds; r++ {
+		kp, kl := prompt.KFor(r), laggard.KFor(r)
+		if kp != kl {
+			t.Fatalf("round %d: laggard k=%d, prompt k=%d — lagging tally broke agreement", r, kl, kp)
+		}
+		prompt.Observe(r, trace[r][0], trace[r][1])
+		if r >= 1 {
+			laggard.Observe(r-1, trace[r-1][0], trace[r-1][1])
+		}
+	}
+}
+
+// TestDensityControllerCarryAndClamp pins the control law's edges: no
+// observations carry k0 forever; a starved budget walks k down by at
+// most ×0.75 per round to kMin; an oversized budget walks it up by at
+// most ×1.25 to kMax; bad configurations are rejected.
+func TestDensityControllerCarryAndClamp(t *testing.T) {
+	dc, err := NewDensityController(50, 1, 1000, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 20; r++ {
+		if k := dc.KFor(r); k != 50 {
+			t.Fatalf("round %d with no observations: k=%d, want the carried 50", r, k)
+		}
+	}
+
+	down, err := NewDensityController(1000, 2, 1000, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := down.KFor(0)
+	for r := 1; r < 40; r++ {
+		down.Observe(r-1, 8000, 4000) // wire far above the 1-byte budget
+		k := down.KFor(r)
+		if k > prev {
+			t.Fatalf("starved budget: k rose %d -> %d at round %d", prev, k, r)
+		}
+		if lo := int(float64(prev)*densityFactorMin) - 1; k < lo && k != 2 {
+			t.Fatalf("round %d: k fell %d -> %d, below the x%.2f clamp", r, prev, k, densityFactorMin)
+		}
+		prev = k
+	}
+	if prev != 2 {
+		t.Fatalf("starved budget settled at k=%d, want kMin=2", prev)
+	}
+
+	up, err := NewDensityController(4, 1, 64, 1<<40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev = up.KFor(0)
+	for r := 1; r < 40; r++ {
+		up.Observe(r-1, 64, 32)
+		k := up.KFor(r)
+		if k < prev {
+			t.Fatalf("oversized budget: k fell %d -> %d at round %d", prev, k, r)
+		}
+		if hi := int(float64(prev)*densityFactorMax) + 1; k > hi {
+			t.Fatalf("round %d: k jumped %d -> %d, above the x%.2f clamp", r, prev, k, densityFactorMax)
+		}
+		prev = k
+	}
+	if prev != 64 {
+		t.Fatalf("oversized budget settled at k=%d, want kMax=64", prev)
+	}
+
+	for _, bad := range []struct{ k0, kMin, kMax int }{{0, 1, 10}, {5, 0, 10}, {5, 6, 10}, {20, 1, 10}} {
+		if _, err := NewDensityController(bad.k0, bad.kMin, bad.kMax, 100, 1); err == nil {
+			t.Fatalf("NewDensityController(%+v) accepted an invalid config", bad)
+		}
+	}
+	if _, err := NewDensityController(5, 1, 10, 0, 1); err == nil {
+		t.Fatalf("NewDensityController accepted a zero budget")
+	}
+}
+
+// TestBucketedAdaptiveDensityReplicaAgreement runs the full bucketed
+// pipeline with adaptive density end to end: every rank must produce
+// bit-identical updates AND hold the identical per-bucket k schedule
+// after every iteration, and a re-run with the same seed must reproduce
+// both exactly.
+func TestBucketedAdaptiveDensityReplicaAgreement(t *testing.T) {
+	const p, dim, iters = 4, 400, 8
+	bounds := []int{0, 150, 400}
+	stream := gradStream(dim)
+
+	run := func() ([][]float32, [][]int) {
+		updates := make([][]float32, iters)
+		ks := make([][]int, p)
+		spmd(t, p, func(c *collective.Comm) error {
+			agg, err := NewBucketedAggregator(c, bounds, 0.05)
+			if err != nil {
+				return err
+			}
+			if err := agg.SetAdaptiveDensity(120, 99); err != nil {
+				return err
+			}
+			rankKs := []int{}
+			for it := 0; it < iters; it++ {
+				upd, err := agg.Aggregate(context.Background(), stream(c.Rank(), it))
+				if err != nil {
+					return fmt.Errorf("iter %d: %w", it, err)
+				}
+				rankKs = append(rankKs, agg.BucketKs()...)
+				if c.Rank() == 0 {
+					updates[it] = append([]float32(nil), upd...)
+				}
+			}
+			ks[c.Rank()] = rankKs
+			return nil
+		})
+		return updates, ks
+	}
+
+	upd1, ks1 := run()
+	for r := 1; r < p; r++ {
+		if len(ks1[r]) != len(ks1[0]) {
+			t.Fatalf("rank %d recorded %d ks, rank 0 %d", r, len(ks1[r]), len(ks1[0]))
+		}
+		for i := range ks1[0] {
+			if ks1[r][i] != ks1[0][i] {
+				t.Fatalf("rank %d k schedule diverged at %d: %d vs %d", r, i, ks1[r][i], ks1[0][i])
+			}
+		}
+	}
+	changed := false
+	for i := range ks1[0] {
+		if ks1[0][i] != ks1[0][0] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatalf("adaptive density never moved k over %d iterations: %v", iters, ks1[0])
+	}
+
+	upd2, ks2 := run()
+	requireBitwiseEqual(t, upd1, upd2, "adaptive density re-run")
+	for i := range ks1[0] {
+		if ks1[0][i] != ks2[0][i] {
+			t.Fatalf("re-run k schedule diverged at %d: %d vs %d", i, ks1[0][i], ks2[0][i])
+		}
+	}
+
+	if err := func() (err error) {
+		spmd(t, 1, func(c *collective.Comm) error {
+			agg, aerr := NewBucketedAggregator(c, []int{0, 10}, 0.5)
+			if aerr != nil {
+				return aerr
+			}
+			err = agg.SetAdaptiveDensity(0, 1)
+			return nil
+		})
+		return err
+	}(); err == nil {
+		t.Fatalf("SetAdaptiveDensity accepted a zero budget")
+	}
+}

@@ -110,6 +110,17 @@ func HierarchicalGTopKAllReduceInto(ctx context.Context, comm *collective.Comm, 
 	}
 
 	codec := gc.Members.WireCodec()
+	if codec.Value().Quantized() {
+		// The leader phase pins the global result to the quantizer's
+		// lattice, identical bits on every leader. Re-quantizing in the
+		// member-level broadcast would run each group leader's
+		// INDEPENDENT stochastic rounding over those same values and
+		// break cross-group bit-agreement, so phase 3 ships the pinned
+		// values in lossless v3 frames instead (v3 frames are
+		// self-describing — the value codec rides in every frame — so
+		// receivers decode them without any extra negotiation).
+		codec = sparse.CodecV3
+	}
 	if gc.Leaders != nil {
 		// Phase 2 (leaders): gTop-k over the leader world merges the
 		// per-group aggregates into the global top-k, identical bits on
@@ -163,6 +174,7 @@ type HierarchicalAggregator struct {
 	mu        float32
 	velocity  []float32
 	dense     []float32
+	orig      []float32     // pre-transform value snapshot for FoldError (reused)
 	global    sparse.Vector // reused collective result (zero steady-state allocs)
 }
 
@@ -244,6 +256,7 @@ func (a *HierarchicalAggregator) Aggregate(ctx context.Context, grad []float32) 
 	if err != nil {
 		return nil, fmt.Errorf("core: hierarchical aggregate: %w", err)
 	}
+	a.orig = snapshotForFold(a.comm.WireCodec(), local, a.orig)
 	if a.gc == nil {
 		err = GTopKAllReduceInto(ctx, a.comm, local, a.k, ChunksFor(a.k), &a.global)
 	} else {
@@ -256,6 +269,10 @@ func (a *HierarchicalAggregator) Aggregate(ctx context.Context, grad []float32) 
 		foldHierStats(a.comm, a.gc)
 	}
 	global := &a.global
+	// Quantization error first, then put-back — see GTopKAggregator.
+	if a.orig != nil {
+		a.sp.FoldError(local.Indices, a.orig, local.Values)
+	}
 	if !a.noPutBack {
 		a.sp.PutBack(local, global.Indices)
 	}

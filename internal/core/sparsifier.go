@@ -97,6 +97,21 @@ func (s *Sparsifier) PutBack(local *sparse.Vector, globalIndices []int32) {
 	}
 }
 
+// FoldError re-deposits per-entry compression error into the residual:
+// for each selected index, orig holds the value the sparsifier selected
+// and sent the value the wire transform actually shipped (the
+// quantization lattice point every replica decoded), so the residual
+// absorbs orig−sent and no gradient mass is lost to the value codec —
+// the same error-feedback identity the selection step maintains,
+// extended to the compound pipeline's transform stage. Call it before
+// PutBack: for an index the global selection then drops, PutBack adds
+// the sent value on top, restoring exactly the original mass.
+func (s *Sparsifier) FoldError(indices []int32, orig, sent []float32) {
+	for i, idx := range indices {
+		s.residual[idx] += orig[i] - sent[i]
+	}
+}
+
 // RestoreResidual overwrites the residual from a checkpoint.
 func (s *Sparsifier) RestoreResidual(residual []float32) error {
 	if len(residual) != s.dim {

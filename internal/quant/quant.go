@@ -2,14 +2,24 @@
 // positions gTop-k against in its related-work section (Section VI):
 // signSGD (Bernstein et al.), TernGrad-style ternary quantization (Wen et
 // al.), and stochastic uniform quantization in the QSGD family (Alistarh
-// et al.). It also provides the combined compressor the paper attributes
-// to Deep Gradient Compression — top-k sparsification with quantized
-// values — which reaches compression ratios in the hundreds.
+// et al.) — see PAPERS.md for the retrieved related work. It also
+// provides the combined compressor the paper attributes to Deep Gradient
+// Compression — top-k sparsification with quantized values — which
+// reaches compression ratios in the hundreds.
 //
 // Quantization caps compression at 32× (1 bit per 32-bit gradient);
 // sparsification has no such cap, which is the paper's argument for
 // pursuing top-k methods on low-bandwidth networks. The ablation
 // experiments quantify exactly that trade-off.
+//
+// The package wears two hats. The standalone quantizers here (Uniform,
+// Ternary, Sign and friends) back the dense baseline aggregators in
+// aggregator.go. Stack (stack.go) packages the same arithmetic as the
+// sparse.Compressor interface — the transform stage of the compound
+// pipeline (select → transform → encode), whose levels the wire format
+// v3 encoder packs after gTop-k selection; see
+// internal/sparse/codecv3.go and docs/ARCHITECTURE.md §Compound
+// compression.
 package quant
 
 import (

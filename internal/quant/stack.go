@@ -1,0 +1,181 @@
+package quant
+
+import (
+	"math"
+
+	"gtopkssgd/internal/f16"
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/sparse"
+)
+
+// Stack is this package's implementation of sparse.Compressor: the
+// transform stage of the compound pipeline (select → transform →
+// encode) that quantizes gTop-k's surviving VALUES onto the wire
+// codec's lattice after selection. Indices stay exact — a wrong index
+// corrupts an unrelated parameter — so the compression compounds:
+// sparsification removes entries, the stack then shrinks what survives
+// (QSGD 8/4/2-bit, TernGrad ternary, or signSGD sign bits), which is
+// how the pipeline passes the 32× ceiling quantization alone caps at.
+//
+// Transform replaces every value with its dequantized lattice point
+// (sparse.DequantLevel), so the slice a sender keeps after transforming
+// is bit-identical to what every receiver decodes; the difference
+// between the original and the transformed values is the quantization
+// error the aggregator folds into the error-feedback residual.
+type Stack struct {
+	vc     sparse.ValueCodec
+	seed   uint64
+	rng    *prng.Source
+	levels []int16
+}
+
+// NewStack builds a Compressor for one value codec. The seed drives the
+// stochastic rounding (QSGD) and Bernoulli sampling (ternary); give
+// each rank its own seed — unbiasedness wants independent draws, and
+// replica agreement never depends on the rng because receivers decode
+// the sender's bytes rather than re-quantizing.
+func NewStack(vc sparse.ValueCodec, seed uint64) *Stack {
+	return &Stack{vc: vc, seed: seed, rng: prng.New(seed)}
+}
+
+// ValueCodec names the wire representation Transform's levels use.
+func (s *Stack) ValueCodec() sparse.ValueCodec { return s.vc }
+
+// Fork derives the compressor for a tag-isolated sub-communicator. The
+// child's seed is a pure function of (parent seed, stream) — never of
+// how many draws the parent has made — so concurrently launched buckets
+// transform deterministically regardless of goroutine scheduling.
+func (s *Stack) Fork(stream uint64) sparse.Compressor {
+	return NewStack(s.vc, forkSeed(s.seed, stream))
+}
+
+// forkSeed mixes a stream number into a seed (splitmix64 finalizer —
+// the same mixing prng.New applies to its seed).
+func forkSeed(seed, stream uint64) uint64 {
+	z := seed ^ (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Transform quantizes values in place onto s's lattice and returns the
+// frame scale plus one level per entry for the v3 encoder. The level
+// slice aliases internal scratch, valid until the next Transform. The
+// arithmetic mirrors Uniform/Ternary/Sign exactly; reconstruction goes
+// through sparse.DequantLevel so sender and receivers agree bit-exact.
+func (s *Stack) Transform(values []float32) (float32, []int16) {
+	switch s.vc {
+	case sparse.ValueF32:
+		return 0, nil
+	case sparse.ValueF16:
+		f16.RoundSlice(values)
+		return 0, nil
+	}
+	if cap(s.levels) < len(values) {
+		s.levels = make([]int16, len(values))
+	}
+	levels := s.levels[:len(values)]
+	switch s.vc {
+	case sparse.ValueQ8, sparse.ValueQ4, sparse.ValueQ2:
+		return s.transformUniform(values, levels), levels
+	case sparse.ValueTernary:
+		return s.transformTernary(values, levels), levels
+	default: // sparse.ValueSign
+		return transformSign(values, levels), levels
+	}
+}
+
+// transformUniform is Uniform's QSGD stochastic rounding, writing into
+// reusable scratch and pinning values to the decoder's lattice.
+func (s *Stack) transformUniform(values []float32, levels []int16) float32 {
+	var scale float32
+	for _, v := range values {
+		if a := abs32(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		for i := range levels {
+			levels[i] = 0
+		}
+		return 0
+	}
+	steps := float32(s.steps())
+	for i, v := range values {
+		t := abs32(v) / scale * steps
+		lo := float32(math.Floor(float64(t)))
+		level := lo
+		if s.rng.Float32() < t-lo {
+			level = lo + 1
+		}
+		if v < 0 {
+			level = -level
+		}
+		levels[i] = int16(level)
+		values[i] = sparse.DequantLevel(s.vc, scale, levels[i])
+	}
+	return scale
+}
+
+// transformTernary is Ternary's Bernoulli sampling with in-place
+// lattice pinning.
+func (s *Stack) transformTernary(values []float32, levels []int16) float32 {
+	var scale float32
+	for _, v := range values {
+		if a := abs32(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		for i := range levels {
+			levels[i] = 0
+		}
+		return 0
+	}
+	for i, v := range values {
+		levels[i] = 0
+		if s.rng.Float32() < abs32(v)/scale {
+			if v >= 0 {
+				levels[i] = 1
+			} else {
+				levels[i] = -1
+			}
+		}
+		values[i] = sparse.DequantLevel(s.vc, scale, levels[i])
+	}
+	return scale
+}
+
+// transformSign is Sign's element-wise sign with the mean magnitude as
+// the shared scale (the scaled-sign estimator), deterministic — no rng.
+func transformSign(values []float32, levels []int16) float32 {
+	var sum float64
+	for _, v := range values {
+		sum += float64(abs32(v))
+	}
+	var scale float32
+	if len(values) > 0 {
+		scale = float32(sum / float64(len(values)))
+	}
+	for i, v := range values {
+		if v >= 0 {
+			levels[i] = 1
+		} else {
+			levels[i] = -1
+		}
+		values[i] = sparse.DequantLevel(sparse.ValueSign, scale, levels[i])
+	}
+	return scale
+}
+
+// steps returns the per-codec positive level count for the QSGD family.
+func (s *Stack) steps() int16 {
+	switch s.vc {
+	case sparse.ValueQ8:
+		return 255
+	case sparse.ValueQ4:
+		return 15
+	default: // sparse.ValueQ2
+		return 3
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"strings"
 
 	"gtopkssgd/internal/f16"
 )
@@ -55,14 +56,18 @@ const (
 // wire (the unit of mesh negotiation; the fp16 flag is carried per frame,
 // not negotiated).
 func (c Codec) WireVersion() byte {
-	if c >= CodecV2 {
+	switch {
+	case c >= CodecV3:
+		return 3
+	case c >= CodecV2:
 		return 2
+	default:
+		return 1
 	}
-	return 1
 }
 
 // Lossy reports whether encoding through c can change value bits.
-func (c Codec) Lossy() bool { return c == CodecV2F16 }
+func (c Codec) Lossy() bool { return c.Value().Lossy() }
 
 // String names the codec the way the -wire flags spell it.
 func (c Codec) String() string {
@@ -73,12 +78,19 @@ func (c Codec) String() string {
 		return "v2"
 	case CodecV2F16:
 		return "v2-fp16"
+	case CodecV3, CodecV3F16, CodecV3Q8, CodecV3Q4, CodecV3Q2, CodecV3T, CodecV3S:
+		if c == CodecV3 {
+			return "v3"
+		}
+		return "v3-" + c.Value().String()
 	default:
 		return fmt.Sprintf("codec(%d)", uint8(c))
 	}
 }
 
-// ParseCodec parses the -wire flag spellings v1, v2 and v2-fp16.
+// ParseCodec parses the -wire flag spellings: v1, v2, v2-fp16, v3 and
+// the compound forms v3-<value codec> (v3-fp16, v3-qsgd8, v3-qsgd4,
+// v3-qsgd2, v3-ternary, v3-sign).
 func ParseCodec(s string) (Codec, error) {
 	switch s {
 	case "v1":
@@ -87,22 +99,27 @@ func ParseCodec(s string) (Codec, error) {
 		return CodecV2, nil
 	case "v2-fp16":
 		return CodecV2F16, nil
-	default:
-		return 0, fmt.Errorf("sparse: unknown wire codec %q (want v1, v2 or v2-fp16)", s)
+	case "v3":
+		return CodecV3, nil
 	}
+	if rest, ok := strings.CutPrefix(s, "v3-"); ok {
+		if vc, err := ParseValueCodec(rest); err == nil && vc != ValueF32 {
+			return codecForValue(vc), nil
+		}
+	}
+	return 0, fmt.Errorf("sparse: unknown wire codec %q (want v1, v2, v2-fp16, v3 or v3-<value codec>)", s)
 }
 
 // CodecForWire maps a negotiated wire version plus the sender's value-
 // precision preference onto the codec to encode with. Unknown (future)
-// versions clamp to v2; version 0 means "unnegotiated" and maps to v1.
+// versions clamp to the latest; version 0 means "unnegotiated" and maps
+// to v1. Quantized value preferences need CodecForWireValue.
 func CodecForWire(version byte, fp16Values bool) Codec {
-	if version < 2 {
-		return CodecV1
-	}
+	vc := ValueF32
 	if fp16Values {
-		return CodecV2F16
+		vc = ValueF16
 	}
-	return CodecV2
+	return CodecForWireValue(version, vc)
 }
 
 // v2 frame constants.
@@ -146,6 +163,9 @@ func EncodedSizeCodec(c Codec, dim int, indices []int32) int {
 	if c == CodecV1 {
 		return EncodedSize(len(indices))
 	}
+	if c.WireVersion() == 3 {
+		return encodedSizeV3(c.Value(), dim, indices)
+	}
 	n := v2HeaderFixed + uvarintLen(uint64(dim)) + uvarintLen(uint64(len(indices)))
 	prev := int32(-1)
 	for _, idx := range indices {
@@ -173,8 +193,12 @@ func EncodeCodec(c Codec, v *Vector) []byte {
 // by the chunked gTop-k tree exchange. Indices must be strictly
 // ascending (every constructor in this package guarantees it).
 func EncodeSlicesCodec(c Codec, dim int, indices []int32, values []float32) []byte {
-	switch c {
-	case CodecV2, CodecV2F16:
+	switch c.WireVersion() {
+	case 3:
+		// Float-valued v3 frames only: quantized codecs need the
+		// Compressor's (scale, levels) and go through EncodeSlicesV3.
+		return EncodeSlicesV3(c, dim, indices, values, 0, nil)
+	case 2:
 		return encodeV2(GetBuffer(maxEncodedSizeV2(c, len(indices))), c, dim, indices, values)
 	default:
 		return encodeParts(GetBuffer(EncodedSize(len(indices))), dim, indices, values)
@@ -222,9 +246,9 @@ func readUvarint(buf []byte) (uint64, int, error) {
 	v, n := binary.Uvarint(buf)
 	switch {
 	case n <= 0:
-		return 0, 0, fmt.Errorf("sparse: decode v2: bad varint")
+		return 0, 0, fmt.Errorf("sparse: decode: bad varint")
 	case n > 1 && buf[n-1] == 0:
-		return 0, 0, fmt.Errorf("sparse: decode v2: non-minimal varint")
+		return 0, 0, fmt.Errorf("sparse: decode: non-minimal varint")
 	}
 	return v, n, nil
 }
@@ -317,7 +341,13 @@ func DecodeCodec(c Codec, buf []byte) (*Vector, error) {
 		return Decode(buf)
 	}
 	v := &Vector{}
-	if err := DecodeV2Into(v, buf); err != nil {
+	var err error
+	if c.WireVersion() == 3 {
+		err = DecodeV3Into(v, buf)
+	} else {
+		err = DecodeV2Into(v, buf)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return v, nil

@@ -121,8 +121,13 @@ const (
 	WireV1 byte = 1
 	// WireV2 is the delta/varint sparse frame format (optionally fp16).
 	WireV2 byte = 2
+	// WireV3 is the compound frame format: delta/varint indices plus a
+	// per-frame value codec (fp32, fp16, or quantized levels — see
+	// internal/sparse codec v3). Negotiates down like every other
+	// version: one v2 peer keeps the whole mesh on v2 frames.
+	WireV3 byte = 3
 	// LatestWire is the newest wire version this build speaks.
-	LatestWire = WireV2
+	LatestWire = WireV3
 )
 
 // normalizeWire clamps a configured wire-version preference: 0 (unset)

@@ -16,8 +16,10 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	"gtopkssgd/internal/bench"
+	"gtopkssgd/internal/core"
 	"gtopkssgd/internal/sparse"
 )
 
@@ -39,10 +41,12 @@ func main() {
 		hierGroup = flag.Int("hier-group", 0, "gtopk-hier group size G (0 picks the default of 4)")
 		wire      = flag.String("wire", "", "sparse wire codec for the simulated fabric: v1, v2, v2-fp16, v3 or v3-<value> (empty keeps v1)")
 		valueCdc  = flag.String("value-codec", "", "compound value codec (fp32|fp16|qsgd8|qsgd4|qsgd2|ternary|sign); requires -wire v3")
+		quorum    = flag.Int("quorum", 0, "straggler-tolerant quorum size q: rounds close after q of -workers contributions under the -round-timeout deadline (0 disables; requires -algo gtopk and a strict majority q > workers/2)")
+		roundTO   = flag.Duration("round-timeout", 0, "per-round gather deadline for -quorum (must be > 0 when -quorum is set)")
 	)
 	flag.Parse()
 
-	wireCodec, err := validate(*model, *algo, *workers, *batch, *epochs, *iters, *density, *lr, *evalN, *hierGroup, *wire, *valueCdc)
+	wireCodec, err := validate(*model, *algo, *workers, *batch, *epochs, *iters, *density, *lr, *evalN, *hierGroup, *wire, *valueCdc, *quorum, *roundTO)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gtopk-train: %v\n\n", err)
 		flag.Usage()
@@ -63,6 +67,8 @@ func main() {
 		EvalBatches:   *evalN,
 		HierGroup:     *hierGroup,
 		Wire:          wireCodec,
+		Quorum:        *quorum,
+		RoundTimeout:  *roundTO,
 	}
 	if *warmup {
 		spec.WarmupDensities = bench.PaperWarmup()
@@ -76,7 +82,7 @@ func main() {
 // validate rejects invocation errors up front (exit 2 with usage)
 // instead of surfacing them as a late runtime failure, and resolves the
 // -wire/-value-codec pair into the TrainSpec codec (0 = v1 default).
-func validate(model, algo string, workers, batch, epochs, iters int, density, lr float64, evalN, hierGroup int, wire, valueCodec string) (sparse.Codec, error) {
+func validate(model, algo string, workers, batch, epochs, iters int, density, lr float64, evalN, hierGroup int, wire, valueCodec string, quorum int, roundTimeout time.Duration) (sparse.Codec, error) {
 	if !slices.Contains(bench.Models(), model) {
 		return 0, fmt.Errorf("unknown -model %q (want %s)", model, strings.Join(bench.Models(), ", "))
 	}
@@ -106,6 +112,23 @@ func validate(model, algo string, workers, batch, epochs, iters int, density, lr
 	}
 	if hierGroup > 0 && algo != "gtopk-hier" {
 		return 0, fmt.Errorf("-hier-group requires -algo gtopk-hier")
+	}
+	if quorum < 0 {
+		return 0, fmt.Errorf("-quorum %d out of range: need >= 0", quorum)
+	}
+	if quorum > 0 {
+		if algo != "gtopk" {
+			return 0, fmt.Errorf("-quorum requires -algo gtopk (got %q): quorum rounds are the flat gTop-k collective's mode", algo)
+		}
+		if lo := core.QuorumMin(workers); quorum < lo || quorum > workers {
+			return 0, fmt.Errorf("-quorum %d out of range [%d,%d] for -workers %d (a quorum must be a strict majority)",
+				quorum, lo, workers, workers)
+		}
+		if roundTimeout <= 0 {
+			return 0, fmt.Errorf("-quorum requires -round-timeout > 0 (got %v)", roundTimeout)
+		}
+	} else if roundTimeout != 0 {
+		return 0, fmt.Errorf("-round-timeout requires -quorum (a deadline only bounds quorum rounds)")
 	}
 	var codec sparse.Codec
 	if wire != "" {

@@ -35,6 +35,14 @@ func TestFlagValidation(t *testing.T) {
 		{"bad-eval", []string{"-eval", "-1"}, "-eval -1 out of range"},
 		{"bad-hier-group", []string{"-hier-group", "-2"}, "-hier-group -2 out of range"},
 		{"hier-group-needs-hier-algo", []string{"-algo", "gtopk", "-hier-group", "4"}, "-hier-group requires -algo gtopk-hier"},
+		{"negative-quorum", []string{"-quorum", "-3"}, "-quorum -3 out of range"},
+		{"quorum-needs-gtopk", []string{"-algo", "dense", "-quorum", "3", "-round-timeout", "50ms"}, "-quorum requires -algo gtopk"},
+		{"quorum-rejects-hier-algo", []string{"-algo", "gtopk-hier", "-quorum", "3", "-round-timeout", "50ms"}, "-quorum requires -algo gtopk"},
+		{"quorum-below-majority", []string{"-workers", "4", "-quorum", "2", "-round-timeout", "50ms"}, "-quorum 2 out of range [3,4]"},
+		{"quorum-above-world", []string{"-workers", "4", "-quorum", "5", "-round-timeout", "50ms"}, "-quorum 5 out of range [3,4]"},
+		{"quorum-needs-timeout", []string{"-workers", "4", "-quorum", "3"}, "-quorum requires -round-timeout > 0"},
+		{"zero-round-timeout", []string{"-workers", "4", "-quorum", "3", "-round-timeout", "0s"}, "-quorum requires -round-timeout > 0"},
+		{"round-timeout-needs-quorum", []string{"-round-timeout", "50ms"}, "-round-timeout requires -quorum"},
 		{"unknown-flag", []string{"-warp-speed"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -50,6 +58,19 @@ func TestFlagValidation(t *testing.T) {
 				t.Fatalf("stderr lacks usage text: %q", res.Stderr)
 			}
 		})
+	}
+}
+
+// TestQuorumTrainingSmoke: a tiny full-sync quorum run completes — the
+// -quorum/-round-timeout flags reach the aggregator.
+func TestQuorumTrainingSmoke(t *testing.T) {
+	res := clitest.Run(t, "-model", "mlp", "-algo", "gtopk", "-quorum", "4", "-round-timeout", "5s",
+		"-workers", "4", "-epochs", "1", "-iters", "2", "-batch", "2", "-density", "0.05")
+	if res.Code != 0 {
+		t.Fatalf("exit %d (stderr: %s)", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "algo=gtopk") || !strings.Contains(res.Stdout, "epoch   1") {
+		t.Fatalf("stdout missing training output:\n%s", res.Stdout)
 	}
 }
 

@@ -81,6 +81,8 @@ type options struct {
 	valueCodec   string
 	selectShards int
 	hierGroup    int
+	quorum       int
+	roundTimeout time.Duration
 
 	// wireCodec is the parsed -wire flag (with -value-codec folded in).
 	wireCodec sparse.Codec
@@ -119,6 +121,8 @@ func main() {
 	flag.StringVar(&o.valueCodec, "value-codec", "", "value codec for the compound v3 pipeline: fp32, fp16, qsgd8, qsgd4, qsgd2, ternary or sign (requires -wire v3; quantization error folds into the error-feedback residual)")
 	flag.IntVar(&o.selectShards, "select-shards", 0, "parallel shards for the local top-k selection (0 = one per core, 1 = serial; results are bit-identical)")
 	flag.IntVar(&o.hierGroup, "hier-group", 0, "hierarchical gTop-k group size G: workers aggregate within groups of G, leaders exchange globally (0 disables; requires -algo gtopk; G >= world degenerates to the flat tree)")
+	flag.IntVar(&o.quorum, "quorum", 0, "straggler-tolerant quorum size q: each aggregation round closes after q of world contributions under the -round-timeout deadline, refunding stragglers' blocks to their residuals (0 disables; requires -algo gtopk, a strict majority q > world/2, and no -hier-group)")
+	flag.DurationVar(&o.roundTimeout, "round-timeout", 0, "per-round gather deadline for -quorum (must be > 0 when -quorum is set)")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -185,6 +189,22 @@ func (o *options) validate() error {
 	if o.hierGroup > 0 && o.algo != "gtopk" {
 		return fmt.Errorf("-hier-group requires -algo gtopk (hierarchical aggregation is a gTop-k topology)")
 	}
+	if o.quorum < 0 {
+		return fmt.Errorf("-quorum %d out of range: need >= 0", o.quorum)
+	}
+	if o.quorum > 0 {
+		if o.algo != "gtopk" {
+			return fmt.Errorf("-quorum requires -algo gtopk (quorum rounds are a gTop-k collective mode)")
+		}
+		if o.hierGroup > 0 {
+			return fmt.Errorf("-quorum conflicts with -hier-group: the quorum gather is flat (the deadline would have to nest per level)")
+		}
+		if o.roundTimeout <= 0 {
+			return fmt.Errorf("-quorum requires -round-timeout > 0 (got %v): a quorum without a deadline never closes early", o.roundTimeout)
+		}
+	} else if o.roundTimeout != 0 {
+		return fmt.Errorf("-round-timeout requires -quorum (a deadline only bounds quorum rounds)")
+	}
 
 	if o.coordinator != "" {
 		// Elastic mode.
@@ -227,6 +247,15 @@ func (o *options) validate() error {
 	}
 	if o.rank < 0 || o.rank >= len(addrs) {
 		return fmt.Errorf("-rank %d out of range [0,%d) for %d-entry -addrs", o.rank, len(addrs), len(addrs))
+	}
+	// Static mode knows the world size at parse time, so the quorum range
+	// check happens here; elastic mode defers it to Build, where the
+	// coordinator's epoch world is known (core.QuorumConfig.Validate).
+	if o.quorum > 0 {
+		if lo, world := core.QuorumMin(len(addrs)), len(addrs); o.quorum < lo || o.quorum > world {
+			return fmt.Errorf("-quorum %d out of range [%d,%d] for %d-entry -addrs (a quorum must be a strict majority)",
+				o.quorum, lo, world, world)
+		}
 	}
 	return nil
 }
@@ -271,12 +300,25 @@ func buildAggregator(o *options, comm *collective.Comm, dim int) (agg core.Aggre
 		if err != nil {
 			return nil, nil, err
 		}
+		if o.quorum > 0 {
+			// Elastic worlds first learn their size here; an illegal
+			// (quorum, world) pair fails the epoch build loudly instead of
+			// wedging a round.
+			if err := a.SetQuorum(core.QuorumConfig{Q: o.quorum, Timeout: o.roundTimeout}); err != nil {
+				return nil, nil, err
+			}
+		}
 		sp = a.Sparsifier()
 		sp.SetShards(o.selectShards)
 		return a, sp, nil
 	}
 	return nil, nil, fmt.Errorf("unknown algorithm %q", o.algo)
 }
+
+// degradeAfter is the consecutive-missed-round streak at which an
+// elastic worker reports itself degraded to the coordinator (telemetry
+// only; the epoch is never reformed for a slow rank).
+const degradeAfter = 3
 
 // runElastic joins a coordinator and trains until the job completes,
 // surviving membership changes.
@@ -298,6 +340,7 @@ func runElastic(o *options) error {
 		CheckpointEvery: o.ckptEvery,
 		MeshTimeout:     o.timeout,
 		TCP:             o.tcpOptions(),
+		DegradeAfter:    degradeAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -322,7 +365,11 @@ func runElastic(o *options) error {
 			if err != nil {
 				return nil, err
 			}
-			return &cluster.Session{Trainer: tr, Params: cls.Net.Parameters(), Sparsifier: sp}, nil
+			sess := &cluster.Session{Trainer: tr, Params: cls.Net.Parameters(), Sparsifier: sp}
+			if q, ok := agg.(interface{ QuorumMissStreak() int }); ok && o.quorum > 0 {
+				sess.QuorumMisses = q.QuorumMissStreak
+			}
+			return sess, nil
 		},
 	})
 	if err != nil {

@@ -40,6 +40,14 @@ func TestFlagValidation(t *testing.T) {
 		{"bad-select-shards", []string{"-addrs", "a:1", "-select-shards", "-2"}, "-select-shards -2 out of range"},
 		{"bad-hier-group", []string{"-addrs", "a:1", "-hier-group", "-1"}, "-hier-group -1 out of range"},
 		{"hier-group-needs-gtopk", []string{"-addrs", "a:1", "-algo", "dense", "-hier-group", "4"}, "-hier-group requires -algo gtopk"},
+		{"negative-quorum", []string{"-addrs", "a:1", "-quorum", "-1"}, "-quorum -1 out of range"},
+		{"quorum-needs-gtopk", []string{"-addrs", "a:1,b:2", "-algo", "dense", "-quorum", "2", "-round-timeout", "100ms"}, "-quorum requires -algo gtopk"},
+		{"quorum-conflicts-hier", []string{"-addrs", "a:1,b:2,c:3,d:4", "-hier-group", "2", "-quorum", "3", "-round-timeout", "100ms"}, "-quorum conflicts with -hier-group"},
+		{"quorum-needs-timeout", []string{"-addrs", "a:1,b:2,c:3,d:4", "-quorum", "3"}, "-quorum requires -round-timeout > 0"},
+		{"negative-round-timeout", []string{"-addrs", "a:1,b:2,c:3,d:4", "-quorum", "3", "-round-timeout", "-1s"}, "-quorum requires -round-timeout > 0"},
+		{"round-timeout-needs-quorum", []string{"-addrs", "a:1,b:2", "-round-timeout", "100ms"}, "-round-timeout requires -quorum"},
+		{"quorum-below-majority", []string{"-addrs", "a:1,b:2,c:3,d:4", "-quorum", "2", "-round-timeout", "100ms"}, "-quorum 2 out of range [3,4]"},
+		{"quorum-above-world", []string{"-addrs", "a:1,b:2,c:3,d:4", "-quorum", "5", "-round-timeout", "100ms"}, "-quorum 5 out of range [3,4]"},
 		{"coordinator-needs-name", []string{"-coordinator", "h:1", "-checkpoint-dir", "/tmp/x"}, "-coordinator requires -name"},
 		{"coordinator-needs-ckptdir", []string{"-coordinator", "h:1", "-name", "w0"}, "-coordinator requires -checkpoint-dir"},
 		{"elastic-topk-rejected", []string{"-coordinator", "h:1", "-name", "w0", "-checkpoint-dir", "/tmp/x", "-algo", "topk"}, "not elastic-safe"},

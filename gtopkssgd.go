@@ -126,6 +126,22 @@ type (
 	// ElasticSession is one epoch's training assembly, produced by an
 	// ElasticWorkerConfig.Build function.
 	ElasticSession = cluster.Session
+
+	// QuorumConfig switches gTop-k rounds to straggler-tolerant quorum
+	// mode: a round's gather closes after Q of P contributions under a
+	// per-round deadline, and a straggler's block is refunded to its
+	// error-feedback residual (GTopKAggregator.SetQuorum).
+	QuorumConfig = core.QuorumConfig
+	// FaultPlan is a seeded, deterministic schedule of link-level
+	// faults (delay, jitter, stalls, drops) for a FaultInjector.
+	FaultPlan = transport.FaultPlan
+	// FaultInjector wraps any Fabric with a FaultPlan, making
+	// straggler schedules reproducible in tests and benchmarks.
+	FaultInjector = transport.FaultInjector
+	// LinkModel prices heterogeneous topologies: intra-group and
+	// inter-group α-β models with a rank→group mapping
+	// (Comm.WithLinks).
+	LinkModel = netsim.LinkModel
 )
 
 // NewInProcFabric connects n ranks through in-memory mailboxes — the
@@ -142,6 +158,22 @@ func NewComm(conn Conn) *Comm { return collective.New(conn) }
 // Paper1GbE returns the α-β model with the constants the paper measured
 // on its 1 Gbps Ethernet cluster (α = 0.436 ms, β = 3.6e-5 ms/element).
 func Paper1GbE() NetModel { return netsim.Paper1GbE() }
+
+// NewFaultInjector wraps a fabric with a seeded link-level fault plan.
+func NewFaultInjector(inner Fabric, plan FaultPlan) *FaultInjector {
+	return transport.NewFaultInjector(inner, plan)
+}
+
+// NewLinkModel builds a heterogeneous per-link α-β model: ranks in the
+// same group of groupSize pay intra, ranks across groups pay inter.
+func NewLinkModel(intra, inter NetModel, groupSize int) (*LinkModel, error) {
+	return netsim.NewLinkModel(intra, inter, groupSize)
+}
+
+// QuorumMin returns the smallest legal quorum for a P-rank world — a
+// strict majority, so two disjoint quorums can never close the same
+// round with different participant sets.
+func QuorumMin(p int) int { return core.QuorumMin(p) }
 
 // TopKSelect returns the k largest-magnitude entries of x with
 // deterministic tie-breaking (lowest index wins), the local selection

@@ -3,6 +3,8 @@ package bench
 import (
 	"path/filepath"
 	"testing"
+
+	"gtopkssgd/internal/core"
 )
 
 // benchArtifactPath locates the checked-in BENCH_gtopk.json at the repo
@@ -126,5 +128,47 @@ func TestBenchArtifactSchema(t *testing.T) {
 	}
 	if !acceptance {
 		t.Fatal("no adaptive v3-qsgd8 rho=0.001 row with >= 8x wire-byte reduction over v1 — the compound acceptance bar")
+	}
+
+	// quorum section: the straggler-tolerant sweep under a WAN straggler.
+	qu := report.Quorum
+	if qu == nil {
+		t.Fatal("quorum section missing (a regeneration dropped it)")
+	}
+	if qu.Dim <= 0 || qu.K < 1 || qu.P < 2 || qu.Rounds < 1 ||
+		qu.SlowRank < 0 || qu.SlowRank >= qu.P || qu.TimeoutMS <= 0 || qu.DelayMS <= qu.TimeoutMS {
+		t.Fatalf("quorum workload stamp malformed: %+v", qu)
+	}
+	if qu.IntraAlphaUS <= 0 || qu.InterAlphaUS <= qu.IntraAlphaUS {
+		t.Fatalf("quorum link models malformed (inter must dwarf intra): %+v", qu)
+	}
+	if len(qu.Rows) < 2 {
+		t.Fatalf("quorum sweep has %d rows, want the q=P anchor plus at least one q<P row", len(qu.Rows))
+	}
+	fullSync, quorumWins := false, false
+	for _, r := range qu.Rows {
+		if r.Q < core.QuorumMin(qu.P) || r.Q > qu.P || r.SimUS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("malformed quorum row %+v", r)
+		}
+		if r.Q == qu.P {
+			if r.MissedRounds != 0 {
+				t.Fatalf("q=P row recorded %d missed rounds, want 0 (full sync only arrives late)", r.MissedRounds)
+			}
+			fullSync = true
+		} else {
+			if r.MissedRounds != qu.Rounds {
+				t.Fatalf("q=%d row missed %d/%d rounds — the %dms delay against the %dms deadline must make the straggler miss every round",
+					r.Q, r.MissedRounds, qu.Rounds, qu.DelayMS, qu.TimeoutMS)
+			}
+			if r.Speedup > 1 {
+				quorumWins = true
+			}
+		}
+	}
+	if !fullSync {
+		t.Fatal("quorum sweep lacks the q=P full-sync anchor row")
+	}
+	if !quorumWins {
+		t.Fatal("no q<P row with speedup > 1 — closing rounds without the WAN straggler must pay off")
 	}
 }

@@ -54,6 +54,17 @@ type TrainSpec struct {
 	// the compound quantized pipeline, its error folded into the
 	// residual). Zero keeps the v1 default.
 	Wire sparse.Codec
+	// Quorum, when > 0, runs the gtopk algorithm in straggler-tolerant
+	// quorum mode: each round closes after Quorum of Workers
+	// contributions under the RoundTimeout deadline, and a straggler's
+	// block is refunded to its residual (gtopk only).
+	Quorum       int
+	RoundTimeout time.Duration
+	// FaultDelay, when > 0, wraps the cluster's fabric in a seeded
+	// FaultInjector that delays SlowRank's outgoing frames by FaultDelay
+	// — the straggler the quorum rides out.
+	FaultDelay time.Duration
+	SlowRank   int
 }
 
 // Validate rejects malformed specifications.
@@ -187,10 +198,22 @@ func RunTraining(ctx context.Context, spec TrainSpec) (*TrainCurve, error) {
 		Steps:   steps,
 		Model:   &simModel,
 	}
-	if spec.Wire != 0 {
-		fab, err := transport.NewInProcWire(spec.Workers, spec.Wire.WireVersion())
+	if spec.Wire != 0 || spec.FaultDelay > 0 {
+		wire := spec.Wire
+		if wire == 0 {
+			wire = sparse.CodecV1
+		}
+		var fab transport.Fabric
+		fab, err := transport.NewInProcWire(spec.Workers, wire.WireVersion())
 		if err != nil {
 			return nil, err
+		}
+		if spec.FaultDelay > 0 {
+			fab = transport.NewFaultInjector(fab, transport.FaultPlan{
+				Seed:      spec.Seed,
+				Delay:     spec.FaultDelay,
+				SlowRanks: []int{spec.SlowRank},
+			})
 		}
 		defer fab.Close() //nolint:errcheck // in-process close never fails
 		cfg.Fabric = fab
@@ -249,6 +272,11 @@ func buildAggregator(spec TrainSpec, comm *collective.Comm, dim int, bounds []in
 		}
 		if spec.DisablePutBack {
 			agg.SetPutBack(false)
+		}
+		if spec.Quorum > 0 {
+			if err := agg.SetQuorum(core.QuorumConfig{Q: spec.Quorum, Timeout: spec.RoundTimeout}); err != nil {
+				return nil, err
+			}
 		}
 		return agg, nil
 	case "gtopk-hier":

@@ -88,6 +88,9 @@ type hotPathReport struct {
 	// section maintained by the compound experiment; the other
 	// experiments preserve it.
 	Compound *CompoundSection `json:"compound,omitempty"`
+	// Quorum is the straggler-tolerant quorum sweep maintained by the
+	// quorum experiment; the other experiments preserve it.
+	Quorum *QuorumSection `json:"quorum,omitempty"`
 }
 
 // loadHotPathReport parses an existing BENCH_gtopk.json so one
@@ -437,6 +440,8 @@ func WriteHotPathJSON(ctx context.Context, opt Options) (string, error) {
 	if prev, err := loadHotPathReport(path); err == nil {
 		report.WireCodec = prev.WireCodec
 		report.Hierarchy = prev.Hierarchy
+		report.Compound = prev.Compound
+		report.Quorum = prev.Quorum
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -204,6 +204,11 @@ func Experiments() []Experiment {
 			Description: "Extension: two-level hierarchical gTop-k vs flat tree crossover sweep; updates BENCH_gtopk.json",
 			Run:         WriteHierarchyJSON,
 		},
+		{
+			ID:          "quorum",
+			Description: "Extension: straggler-tolerant quorum gTop-k under a WAN straggler; updates BENCH_gtopk.json",
+			Run:         WriteQuorumJSON,
+		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/core"
+	"gtopkssgd/internal/nn/models"
+)
+
+// TestChaosSoakSlowRank is the quorum path's endurance test: a 4-worker
+// elastic job trains under quorum aggregation (q = P-1, 100ms per-round
+// deadline) while a seeded schedule rotates
+// which worker is SLOW — not dead: the victim sleeps after every step of
+// its window, so its gather frames persistently miss the deadline while
+// its heartbeats (a separate goroutine) keep flowing. The job must ride
+// it out with ZERO epoch churn: stragglers cost staleness, never
+// reconfiguration. Asserted:
+//
+//   - every worker finishes all steps in epoch 1 (no reconfigurations);
+//   - per-worker iterations advance gap-free at constant world size;
+//   - final weights are bit-identical on all four replicas — a missed
+//     rank still applies the round's verdict, so replicas never diverge;
+//   - the coordinator logged at least one degraded-rank report (the
+//     victims cross DegradeAfter consecutive misses) without acting on it.
+func TestChaosSoakSlowRank(t *testing.T) {
+	const (
+		workers   = 4
+		steps     = 20
+		ckptEvery = 5
+		window    = 4                      // victim rotates every `window` of a worker's own iterations
+		slowFor   = 200 * time.Millisecond // sleep per victim step; >> the 100ms round deadline
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	ds := elasticDataset(t)
+	dir := t.TempDir()
+
+	names := make([]string, workers)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	// Seeded rotation: the worker whose own iteration i falls in window
+	// i/window is slow when (i/window) mod workers picks its index. Every
+	// worker gets a turn, including rank 0 — the quorum root, whose slow
+	// windows exercise the "everyone waits for the gatherer" path (those
+	// rounds complete with full participation, just late).
+	victim := func(iter int) string { return names[(iter/window)%workers] }
+
+	qc := core.QuorumConfig{Q: workers - 1, Timeout: 100 * time.Millisecond}
+	build := func(rank, world int, comm *collective.Comm) (*Session, error) {
+		cls := models.MLP(ds.Dim(), elHidden, 10)
+		cls.Net.Init(elSeed)
+		dim := cls.Net.ParamCount()
+		agg, err := core.NewGTopKAggregator(comm, dim, core.DensityToK(dim, elDensity))
+		if err != nil {
+			return nil, err
+		}
+		if err := agg.SetQuorum(qc); err != nil {
+			return nil, err
+		}
+		tr, err := core.NewTrainer(core.TrainConfig{LR: elLR, Momentum: elMom},
+			agg, cls.Net.Parameters(), models.GradFn(cls, ds, rank, world, elBatch))
+		if err != nil {
+			return nil, err
+		}
+		return &Session{
+			Trainer:      tr,
+			Params:       cls.Net.Parameters(),
+			Sparsifier:   agg.Sparsifier(),
+			QuorumMisses: agg.QuorumMissStreak,
+		}, nil
+	}
+
+	var (
+		recMu   sync.Mutex
+		records = make(map[string][]stepRecord)
+	)
+	runResults := make(map[string]*RunResult)
+	runErrs := make(map[string]error)
+
+	addr, coord, served := startCoordinator(t, ctx, fastHB(CoordinatorConfig{World: workers}))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			res, err := Run(ctx, RuntimeConfig{
+				Name:            name,
+				Coordinator:     addr,
+				Steps:           steps,
+				CheckpointPath:  filepath.Join(dir, name+".gtkc"),
+				CheckpointEvery: ckptEvery,
+				DegradeAfter:    2,
+				Build:           build,
+				OnStep: func(info StepInfo) error {
+					recMu.Lock()
+					records[name] = append(records[name], stepRecord{
+						epoch: info.Epoch, rank: info.Rank, world: info.World,
+						iter: info.Iter, loss: info.Loss,
+					})
+					recMu.Unlock()
+					if victim(info.Iter-1) == name {
+						time.Sleep(slowFor)
+					}
+					return nil
+				},
+			})
+			recMu.Lock()
+			runResults[name] = res
+			runErrs[name] = err
+			recMu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+
+	for _, name := range names {
+		if err := runErrs[name]; err != nil {
+			t.Fatalf("%s failed: %v", name, err)
+		}
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("coordinator Serve = %v, want nil (job completed)", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("coordinator did not finish")
+	}
+
+	// Zero epoch churn: a slow rank is telemetry, never a membership
+	// event — every worker trained all steps inside epoch 1.
+	for _, name := range names {
+		res := runResults[name]
+		if res.Steps != steps || res.Epochs != 1 || res.FinalEpoch != 1 || res.FinalWorld != workers {
+			t.Fatalf("%s result %+v, want %d steps in a single epoch at world %d",
+				name, res, steps, workers)
+		}
+	}
+
+	// Gap-free iteration at constant world.
+	for _, name := range names {
+		recs := records[name]
+		if len(recs) != steps {
+			t.Fatalf("%s recorded %d steps, want %d", name, len(recs), steps)
+		}
+		for i, rec := range recs {
+			if rec.epoch != 1 || rec.world != workers {
+				t.Fatalf("%s step %d ran in epoch %d at world %d, want epoch 1 world %d",
+					name, i, rec.epoch, rec.world, workers)
+			}
+			if rec.iter != i+1 {
+				t.Fatalf("%s: iteration gap: record %d has iter %d", name, i, rec.iter)
+			}
+		}
+	}
+
+	// Bit-agreement: the quorum verdict is applied by participants and
+	// stragglers alike, so the four replicas never diverge.
+	ref := runResults[names[0]].FinalWeights
+	if len(ref) == 0 {
+		t.Fatalf("%s has no final weights", names[0])
+	}
+	for _, name := range names[1:] {
+		w := runResults[name].FinalWeights
+		if len(w) != len(ref) {
+			t.Fatalf("%s has %d weights, want %d", name, len(w), len(ref))
+		}
+		for i := range ref {
+			if math.Float32bits(w[i]) != math.Float32bits(ref[i]) {
+				t.Fatalf("%s weight %d: %v vs %v — replicas diverged", name, i, w[i], ref[i])
+			}
+		}
+	}
+
+	// The victims crossed DegradeAfter consecutive misses at some point,
+	// so the coordinator holds at least one degraded report — and, having
+	// taken no action on them, still finished the job in epoch 1 above.
+	total := 0
+	for name, n := range coord.Degraded() {
+		t.Logf("degraded reports from %s: %d", name, n)
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no degraded-rank reports reached the coordinator")
+	}
+}

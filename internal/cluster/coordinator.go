@@ -137,6 +137,7 @@ type Coordinator struct {
 	mu       sync.Mutex
 	members  map[string]*memberState
 	pending  map[string]*memberState // parked late joiners, keyed by name
+	degraded map[string]int          // degraded reports per member name, across epochs
 	epoch    uint64
 	started  bool
 	done     bool
@@ -164,8 +165,37 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg:      full,
 		members:  make(map[string]*memberState, cfg.World),
 		pending:  make(map[string]*memberState),
+		degraded: make(map[string]int),
 		finished: make(chan struct{}),
 	}, nil
+}
+
+// Degraded returns a copy of the per-member degraded-report counters:
+// how many times each worker (by name, across epochs) reported itself
+// alive but persistently missing quorum deadlines.
+func (c *Coordinator) Degraded() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.degraded))
+	for name, n := range c.degraded {
+		out[name] = n
+	}
+	return out
+}
+
+// noteDegraded records a member's degraded report. Deliberately NOT a
+// membership event: the worker is alive (it just told us so), merely
+// slow, and quorum aggregation already contains the damage — reforming
+// the epoch would trade bounded staleness for a full restart.
+func (c *Coordinator) noteDegraded(m *memberState, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.members[m.name] != m && c.pending[m.name] != m {
+		return // superseded zombie; the heartbeat path handles it
+	}
+	c.degraded[m.name]++
+	c.cfg.Logf("cluster: %s reports degraded (%s); %d report(s) so far, epoch unchanged",
+		m.name, reason, c.degraded[m.name])
 }
 
 // Epoch returns the most recently declared epoch (0 before the job
@@ -276,6 +306,8 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 				conn.Close()                                                                   //nolint:errcheck // zombie member
 				return
 			}
+		case msgDegraded:
+			c.noteDegraded(m, msg.Reason)
 		case msgLeave:
 			c.depart(m, msg.Done)
 			conn.Close() //nolint:errcheck // graceful end of control stream

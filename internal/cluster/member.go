@@ -127,6 +127,15 @@ func (m *Member) Err() error {
 	return m.err
 }
 
+// ReportDegraded tells the coordinator this worker is alive but
+// persistently missing quorum deadlines. Informational only: the
+// coordinator logs and counts the report without reconfiguring the job.
+func (m *Member) ReportDegraded(reason string) error {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	return m.codec.write(&message{T: msgDegraded, Reason: reason})
+}
+
 // Leave departs gracefully. jobDone=true tells the coordinator the
 // whole job completed, which disarms failure detection for the
 // remaining members' own departures.

@@ -21,6 +21,12 @@ const (
 	msgHeartbeat = "hb"
 	// msgLeave (worker→coordinator) departs; Done marks job completion.
 	msgLeave = "leave"
+	// msgDegraded (worker→coordinator) reports that this worker is alive
+	// but persistently missing quorum deadlines (Reason says why). Purely
+	// informational: the coordinator logs and counts it WITHOUT reforming
+	// the epoch — a slow rank under quorum aggregation costs staleness,
+	// not correctness, so tearing the job down would be strictly worse.
+	msgDegraded = "degraded"
 	// msgWelcome (coordinator→worker) accepts a join and sets the
 	// heartbeat contract.
 	msgWelcome = "welcome"

@@ -29,6 +29,10 @@ type Session struct {
 	// Sparsifier, when non-nil, owns the error-feedback residual that
 	// must ride along in every snapshot.
 	Sparsifier *core.Sparsifier
+	// QuorumMisses, when non-nil, reports this rank's consecutive missed
+	// quorum rounds (e.g. GTopKAggregator.QuorumMissStreak). Paired with
+	// RuntimeConfig.DegradeAfter it drives degraded-rank reporting.
+	QuorumMisses func() int
 }
 
 // BuildFn assembles a fresh Session for one epoch. It runs once per
@@ -81,6 +85,12 @@ type RuntimeConfig struct {
 	// and data planes severed — exactly the footprint of a SIGKILL,
 	// which is what the failure tests use it for.
 	OnStep func(StepInfo) error
+	// DegradeAfter, when > 0 and the Session exposes QuorumMisses,
+	// reports this worker to the coordinator as degraded once it has
+	// missed that many CONSECUTIVE quorum rounds. One report per streak:
+	// the worker re-arms only after participating again. The epoch keeps
+	// running either way — degradation is telemetry, not failure.
+	DegradeAfter int
 	// MeshTimeout bounds one mesh wire-up attempt; 0 means 30s.
 	MeshTimeout time.Duration
 	// TCP tunes the data-plane sockets of every epoch's mesh; the zero
@@ -346,6 +356,7 @@ func (r *runtime) runEpoch(ctx context.Context, conf *Config) (res *RunResult, e
 // snapshotting on the configured cadence.
 func (r *runtime) trainLoop(epochCtx context.Context, conf *Config, sess *Session) (float64, error) {
 	var lastLoss float64
+	degradedReported := false
 	for sess.Trainer.Iter() < r.cfg.Steps {
 		loss, err := sess.Trainer.Step(epochCtx)
 		if err != nil {
@@ -362,6 +373,21 @@ func (r *runtime) trainLoop(epochCtx context.Context, conf *Config, sess *Sessio
 				// leave, no final snapshot, sockets simply vanish.
 				r.member.Close() //nolint:errcheck // abrupt by design
 				return 0, fmt.Errorf("%w: %s at iteration %d: %w", errHardAbort, r.cfg.Name, info.Iter, err)
+			}
+		}
+		if r.cfg.DegradeAfter > 0 && sess.QuorumMisses != nil {
+			switch streak := sess.QuorumMisses(); {
+			case streak >= r.cfg.DegradeAfter && !degradedReported:
+				// One report per streak; a failed write just means the
+				// control plane is going down, which its own path handles.
+				degradedReported = true
+				reason := fmt.Sprintf("missed %d consecutive quorum rounds", streak)
+				r.cfg.Logf("%s: epoch %d: degraded: %s (training continues)", r.cfg.Name, conf.Epoch, reason)
+				if err := r.member.ReportDegraded(reason); err != nil {
+					r.cfg.Logf("%s: degraded report failed: %v", r.cfg.Name, err)
+				}
+			case streak == 0:
+				degradedReported = false // participating again: re-arm
 			}
 		}
 		iter := sess.Trainer.Iter()

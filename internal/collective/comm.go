@@ -43,6 +43,9 @@ type Comm struct {
 	clock *netsim.Clock
 	model netsim.Model
 	timed bool
+	// links, when non-nil, prices quorum rounds with per-link α-β
+	// parameters instead of the uniform model (see WithLinks).
+	links *netsim.LinkModel
 
 	nextTag int
 	// tagLimit bounds this communicator's tag space (exclusive); 0 means

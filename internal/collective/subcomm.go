@@ -42,6 +42,7 @@ func (c *Comm) Fork(n int) ([]*Comm, error) {
 			fp16:     c.fp16,
 			comp:     forkCompressor(c.comp, uint64(i)),
 			tally:    c.tally,
+			links:    c.links,
 		}
 	}
 	return kids, nil

@@ -159,6 +159,12 @@ type GTopKAggregator struct {
 	dense     []float32
 	orig      []float32     // pre-transform value snapshot for FoldError (reused)
 	global    sparse.Vector // reused tree-collective result (zero steady-state allocs)
+
+	// quorum, when enabled (Q > 0), replaces the flat tree with the
+	// straggler-tolerant quorum collective; missStreak counts this rank's
+	// consecutive missed rounds for degraded-rank reporting.
+	quorum     QuorumConfig
+	missStreak int
 }
 
 // NewGTopKAggregator creates a gTop-k aggregator selecting k of dim
@@ -192,8 +198,37 @@ func (a *GTopKAggregator) Name() string {
 	if a.naive {
 		return "gtopk-naive"
 	}
+	if a.quorum.Q > 0 {
+		return "gtopk-quorum"
+	}
 	return "gtopk"
 }
+
+// SetQuorum enables the straggler-tolerant quorum collective: rounds
+// close after cfg.Q of P contributions or cfg.Timeout, whichever allows
+// it first (never under quorum), and a missed rank's selected mass is
+// refunded to its residual instead of entering the round. Incompatible
+// with the naive AllGather path. A zero cfg disables quorum mode.
+func (a *GTopKAggregator) SetQuorum(cfg QuorumConfig) error {
+	if cfg == (QuorumConfig{}) {
+		a.quorum = cfg
+		return nil
+	}
+	if a.naive {
+		return fmt.Errorf("core: quorum mode requires the tree collective, not gtopk-naive")
+	}
+	if err := cfg.Validate(a.comm.Size()); err != nil {
+		return err
+	}
+	a.quorum = cfg
+	return nil
+}
+
+// QuorumMissStreak returns how many consecutive rounds this rank's
+// contribution has missed the quorum deadline (0 when participating or
+// when quorum mode is off) — the signal the cluster runtime turns into
+// degraded-rank reports.
+func (a *GTopKAggregator) QuorumMissStreak() int { return a.missStreak }
 
 // SetK retunes the per-iteration selection count (warmup schedules).
 func (a *GTopKAggregator) SetK(k int) error {
@@ -238,11 +273,23 @@ func (a *GTopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]floa
 	if err != nil {
 		return nil, fmt.Errorf("core: gtopk aggregate: %w", err)
 	}
-	a.orig = snapshotForFold(a.comm.WireCodec(), local, a.orig)
-	var global *sparse.Vector
-	if a.naive {
-		global, err = NaiveGTopKAllReduce(ctx, a.comm, local, a.k)
+	if a.quorum.Q > 0 {
+		// Quorum mode always snapshots the pre-transform values: a round
+		// this rank misses refunds the FULL selected mass, not just the
+		// codec error.
+		a.orig = append(a.orig[:0], local.Values...)
 	} else {
+		a.orig = snapshotForFold(a.comm.WireCodec(), local, a.orig)
+	}
+	var global *sparse.Vector
+	var participated = true
+	switch {
+	case a.naive:
+		global, err = NaiveGTopKAllReduce(ctx, a.comm, local, a.k)
+	case a.quorum.Q > 0:
+		participated, _, err = QuorumGTopKAllReduceInto(ctx, a.comm, local, a.k, a.quorum, &a.global)
+		global = &a.global
+	default:
 		// The result vector is owned by the aggregator and reused every
 		// iteration, keeping the whole tree collective allocation-free.
 		err = GTopKAllReduceInto(ctx, a.comm, local, a.k, ChunksFor(a.k), &a.global)
@@ -251,18 +298,33 @@ func (a *GTopKAggregator) Aggregate(ctx context.Context, grad []float32) ([]floa
 	if err != nil {
 		return nil, err
 	}
-	// Compound pipeline: the wire transform replaced the values this
-	// rank shipped with their lattice points in place; fold the
-	// quantization error into the residual BEFORE PutBack, so a
-	// globally-dropped index gets lattice value + error = its full
-	// original mass back, and a survivor keeps exactly the error.
-	if a.orig != nil {
-		a.sp.FoldError(local.Indices, a.orig, local.Values)
-	}
-	// Algorithm 4 line 10: locally selected values whose index did not
-	// survive globally go back into the residual.
-	if !a.noPutBack {
-		a.sp.PutBack(local, global.Indices)
+	if !participated {
+		// This rank's frame missed the round: nothing of it entered the
+		// aggregate, so the whole selected mass is refunded to the
+		// residual (conservation) and put-back must be skipped — the
+		// update below is built purely from the other ranks' verdict.
+		a.missStreak++
+		a.sp.Refund(local.Indices, a.orig)
+	} else {
+		a.missStreak = 0
+		// Compound pipeline: the wire transform replaced the values this
+		// rank shipped with their lattice points in place; fold the
+		// quantization error into the residual BEFORE PutBack, so a
+		// globally-dropped index gets lattice value + error = its full
+		// original mass back, and a survivor keeps exactly the error.
+		// (In quorum mode the snapshot exists for every codec, but the
+		// fold itself only applies where the transform was lossy —
+		// otherwise orig equals the shipped values bit-for-bit and the
+		// flat path's residual bits must be preserved exactly.)
+		codec := a.comm.WireCodec()
+		if a.orig != nil && codec.WireVersion() == 3 && codec.Lossy() {
+			a.sp.FoldError(local.Indices, a.orig, local.Values)
+		}
+		// Algorithm 4 line 10: locally selected values whose index did not
+		// survive globally go back into the residual.
+		if !a.noPutBack {
+			a.sp.PutBack(local, global.Indices)
+		}
 	}
 
 	for i := range a.dense {

@@ -72,10 +72,11 @@ type bucketState struct {
 
 // bucketDone reports one bucket's completed collective back to Finish.
 type bucketDone struct {
-	idx   int
-	err   error
-	comm  time.Duration // simulated communication time of this bucket
-	stats collective.Stats
+	idx    int
+	err    error
+	comm   time.Duration // simulated communication time of this bucket
+	missed bool          // this rank's frame missed the bucket's quorum round
+	stats  collective.Stats
 }
 
 // BucketedAggregator runs gTop-k S-SGD per layer-aligned bucket with
@@ -106,6 +107,12 @@ type BucketedAggregator struct {
 	group   int // hierarchical group size (0 or 1 = flat per-bucket gTop-k)
 
 	mu float32 // DGC momentum-correction coefficient (0 disables)
+
+	// quorum, when enabled, replaces every bucket's flat tree with the
+	// straggler-tolerant quorum collective; missStreak counts consecutive
+	// iterations in which ANY of this rank's buckets missed its round.
+	quorum     QuorumConfig
+	missStreak int
 
 	// Per-iteration streaming state.
 	ctx      context.Context
@@ -201,8 +208,38 @@ func (a *BucketedAggregator) Name() string {
 	if a.group > 1 && a.group < a.parent.Size() {
 		return "gtopk-bucketed-hier"
 	}
+	if a.quorum.Q > 0 {
+		return "gtopk-bucketed-quorum"
+	}
 	return "gtopk-bucketed"
 }
+
+// SetQuorum enables the straggler-tolerant quorum collective on every
+// bucket (same Q and deadline per bucket round; see
+// GTopKAggregator.SetQuorum). A bucket this rank's frame misses refunds
+// that bucket's selected mass to its private residual. Incompatible with
+// the hierarchical pipeline — the two-level collective has no quorum
+// variant. A zero cfg disables quorum mode. Call before training, not
+// between Begin and Finish.
+func (a *BucketedAggregator) SetQuorum(cfg QuorumConfig) error {
+	if cfg == (QuorumConfig{}) {
+		a.quorum = cfg
+		return nil
+	}
+	if a.group > 1 && a.group < a.parent.Size() {
+		return fmt.Errorf("core: bucketed: quorum mode is incompatible with the hierarchical pipeline")
+	}
+	if err := cfg.Validate(a.parent.Size()); err != nil {
+		return err
+	}
+	a.quorum = cfg
+	return nil
+}
+
+// QuorumMissStreak returns how many consecutive iterations at least one
+// of this rank's buckets missed its quorum deadline (0 when fully
+// participating or when quorum mode is off).
+func (a *BucketedAggregator) QuorumMissStreak() int { return a.missStreak }
 
 // SetMomentumCorrection enables DGC-style momentum correction (see
 // TopKAggregator.SetMomentumCorrection), maintained per bucket so each
@@ -326,11 +363,15 @@ func (a *BucketedAggregator) Finish() ([]float32, error) {
 	}
 	var firstErr error
 	var slowest time.Duration
+	anyMissed := false
 	for a.inFlight > 0 {
 		d := <-a.done
 		a.inFlight--
 		if d.err != nil && firstErr == nil {
 			firstErr = d.err
+		}
+		if d.missed {
+			anyMissed = true
 		}
 		a.lastComm[d.idx] = d.comm
 		if d.comm > slowest {
@@ -342,6 +383,11 @@ func (a *BucketedAggregator) Finish() ([]float32, error) {
 	a.ctx = nil
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if anyMissed {
+		a.missStreak++
+	} else {
+		a.missStreak = 0
 	}
 	// Concurrent-bucket accounting: the iteration pays the slowest
 	// bucket's communication, not the sum — the whole point of the
@@ -389,10 +435,20 @@ func (a *BucketedAggregator) runBucket(ctx context.Context, b *bucketState, grad
 		return out
 	}
 	codec := b.comm.WireCodec()
-	b.orig = snapshotForFold(codec, local, b.orig)
-	if b.gc != nil {
-		err = HierarchicalGTopKAllReduceInto(ctx, b.comm, b.gc, local, b.k, ChunksFor(b.k), &b.out)
+	if a.quorum.Q > 0 {
+		// Quorum mode always snapshots the pre-transform values — a missed
+		// round refunds the FULL selected mass (see GTopKAggregator).
+		b.orig = append(b.orig[:0], local.Values...)
 	} else {
+		b.orig = snapshotForFold(codec, local, b.orig)
+	}
+	participated := true
+	switch {
+	case a.quorum.Q > 0:
+		participated, _, err = QuorumGTopKAllReduceInto(ctx, b.comm, local, b.k, a.quorum, &b.out)
+	case b.gc != nil:
+		err = HierarchicalGTopKAllReduceInto(ctx, b.comm, b.gc, local, b.k, ChunksFor(b.k), &b.out)
+	default:
 		err = GTopKAllReduceInto(ctx, b.comm, local, b.k, ChunksFor(b.k), &b.out)
 	}
 	if err != nil {
@@ -405,11 +461,18 @@ func (a *BucketedAggregator) runBucket(ctx context.Context, b *bucketState, grad
 		foldHierStats(b.comm, b.gc)
 	}
 	global := &b.out
-	// Quantization error first, then put-back — see GTopKAggregator.
-	if b.orig != nil {
-		b.sp.FoldError(local.Indices, b.orig, local.Values)
+	if !participated {
+		// This bucket's frame missed its round: refund the whole selected
+		// mass and skip fold/put-back — conservation, per GTopKAggregator.
+		out.missed = true
+		b.sp.Refund(local.Indices, b.orig)
+	} else {
+		// Quantization error first, then put-back — see GTopKAggregator.
+		if b.orig != nil && codec.WireVersion() == 3 && codec.Lossy() {
+			b.sp.FoldError(local.Indices, b.orig, local.Values)
+		}
+		b.sp.PutBack(local, global.Indices)
 	}
-	b.sp.PutBack(local, global.Indices)
 	if b.dc != nil {
 		// Feed the controller sizes derived from the bit-identical global
 		// result — never a rank's local WireTally, whose tree role makes

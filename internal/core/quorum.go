@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"gtopkssgd/internal/collective"
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/transport"
+)
+
+// This file implements the straggler-tolerant quorum variant of the
+// gTop-k collective: a round gathers every rank's local top-k at rank 0
+// under a per-round deadline, closes once a quorum has contributed, and
+// broadcasts a verdict (participant set + merged global top-k) to every
+// rank. Stragglers' blocks are never lost — the owner refunds the full
+// selected mass to its error-feedback residual, so the missing gradient
+// signal rides into a later round exactly like any residual mass
+// (DGC's momentum-correction argument makes this convergence-safe).
+
+// quorumRoot is the gathering rank of every quorum round.
+const quorumRoot = 0
+
+// verdictAttempts bounds the non-root ranks' deadline-aware wait for the
+// root's verdict frame: each attempt spans two round timeouts (the root
+// may spend a full deadline gathering before it merges and sends).
+const verdictAttempts = 8
+
+// QuorumConfig configures the quorum gTop-k collective. The zero value
+// disables quorum mode.
+type QuorumConfig struct {
+	// Q is the number of contributions (the root's own included) that
+	// close a round; valid values are [QuorumMin(P), P]. Q = P degrades
+	// to a deadline-guarded full synchronization whose result is
+	// bit-identical to the flat tree.
+	Q int
+	// Timeout is the per-round gather deadline (must be > 0).
+	Timeout time.Duration
+}
+
+// QuorumMin returns the smallest legal quorum for a P-rank world:
+// ⌈P/2⌉+1, a strict majority, so two disjoint quorums can never close
+// the same round with different participant sets.
+func QuorumMin(p int) int { return (p+1)/2 + 1 }
+
+// Validate checks the configuration against a P-rank world.
+func (qc QuorumConfig) Validate(p int) error {
+	if qc.Timeout <= 0 {
+		return fmt.Errorf("core: quorum round timeout %v out of range: need > 0", qc.Timeout)
+	}
+	if lo := QuorumMin(p); qc.Q < lo || qc.Q > p {
+		return fmt.Errorf("core: quorum %d out of range [%d,%d] for %d workers", qc.Q, lo, p, p)
+	}
+	return nil
+}
+
+// QuorumGTopKAllReduce wraps QuorumGTopKAllReduceInto with a fresh
+// result vector.
+func QuorumGTopKAllReduce(ctx context.Context, comm *collective.Comm, local *sparse.Vector, k int, qc QuorumConfig) (*sparse.Vector, bool, []int, error) {
+	out := &sparse.Vector{}
+	participated, missed, err := QuorumGTopKAllReduceInto(ctx, comm, local, k, qc, out)
+	return out, participated, missed, err
+}
+
+// QuorumGTopKAllReduceInto runs one quorum gTop-k round: every rank
+// ships its local top-k to rank 0 in a single codec frame; the root
+// closes the gather after the deadline with at least qc.Q contributions
+// (collective.QuorumGather), merges the participants' frames with the
+// SAME binomial-tree schedule the flat collective uses — at full
+// participation the merge order, and therefore the bits, are identical
+// to GTopKAllReduceInto under a lossless wire codec — and broadcasts a
+// verdict carrying the participant set and the merged global top-k.
+//
+// Every rank returns the verdict's global top-k in out, whether its own
+// contribution made the round (participated), and which ranks missed.
+// The caller owns the conservation step: a participant folds
+// quantization error and puts back globally-dropped values as usual; a
+// straggler refunds its entire selected mass to the residual
+// (Sparsifier.Refund) and skips put-back.
+func QuorumGTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local *sparse.Vector, k int, qc QuorumConfig, out *sparse.Vector) (bool, []int, error) {
+	p := comm.Size()
+	if err := qc.Validate(p); err != nil {
+		return false, nil, err
+	}
+	codec := comm.WireCodec()
+	r := comm.Rank()
+
+	// Encode the whole local selection as one frame. Under a lossy v3
+	// codec the values are pinned in place first (the caller snapshots
+	// originals before this collective, exactly like the flat path).
+	var scale float32
+	var levels []int16
+	if codec.WireVersion() == 3 && codec.Lossy() {
+		scale, levels = transformForWire(comm, codec, local.Values)
+	}
+	frame := encodeSparseChunk(codec, local, 0, local.NNZ(), scale, levels)
+	comm.TallyWire(sparse.EncodedSize(local.NNZ()), len(frame))
+
+	round, err := comm.QuorumGather(ctx, quorumRoot, qc.Q, qc.Timeout, frame)
+	if err != nil {
+		return false, nil, fmt.Errorf("core: quorum gather: %w", err)
+	}
+
+	vtag := comm.ClaimTags(1)
+	var participants []int
+	if r == quorumRoot {
+		merged, err := quorumTreeFold(codec, round, k)
+		if err != nil {
+			return false, nil, err
+		}
+		participants = round.Participants
+		// Pin the merged result to the wire precision BEFORE both the
+		// local copy and the verdict encode, so the root keeps exactly
+		// the bits every other rank decodes.
+		var vscale float32
+		var vlevels []int16
+		if codec.Lossy() {
+			vscale, vlevels = transformForWire(comm, codec, merged.Values)
+		}
+		sparse.CopyInto(out, merged)
+		verdict := encodeVerdict(codec, participants, merged, vscale, vlevels)
+		sparse.PutVector(merged)
+		for dst := 0; dst < p; dst++ {
+			if dst == quorumRoot {
+				continue
+			}
+			if err := comm.SendTag(ctx, dst, vtag, verdict); err != nil {
+				return false, nil, fmt.Errorf("core: quorum verdict send to %d: %w", dst, err)
+			}
+		}
+	} else {
+		pol := transport.RetryPolicy{
+			Timeout:  2 * qc.Timeout,
+			Attempts: verdictAttempts,
+			Backoff:  qc.Timeout / 4,
+		}
+		blob, err := comm.RecvTagRetry(ctx, quorumRoot, vtag, pol)
+		if err != nil {
+			return false, nil, fmt.Errorf("core: quorum verdict recv: %w", err)
+		}
+		participants, err = decodeVerdict(codec, blob, out)
+		if err != nil {
+			return false, nil, fmt.Errorf("core: quorum verdict: %w", err)
+		}
+	}
+
+	participated := false
+	for _, pr := range participants {
+		if pr == r {
+			participated = true
+			break
+		}
+	}
+	var missed []int
+	if len(participants) < p {
+		missed = make([]int, 0, p-len(participants))
+		j := 0
+		for rank := 0; rank < p; rank++ {
+			if j < len(participants) && participants[j] == rank {
+				j++
+				continue
+			}
+			missed = append(missed, rank)
+		}
+	}
+	// Both legs are charged from the verdict's participant set, so every
+	// rank's simulated clock is a pure function of the straggler
+	// schedule: modelled 2k elements per contribution on the gather, the
+	// verdict's flat-equivalent size on the broadcast.
+	comm.ChargeQuorumRound(quorumRoot, participants, 2*k, sparse.EncodedSize(out.NNZ())/4)
+	return participated, missed, nil
+}
+
+// quorumTreeFold merges the gathered participant frames on the root with
+// the generalized binomial-tree schedule over participant POSITIONS
+// (rank-ascending): in round j, position i with i mod 2^(j+1) == 0
+// absorbs position i+2^j via the ⊕ operator of Definition 1 (top-k of
+// the sum). With all P ranks participating, positions coincide with
+// ranks and every accumulator sees the exact ⊕ sequence of the
+// distributed tree — which is what makes q=P rounds bit-identical to the
+// flat path. The returned vector is pooled; the caller releases it.
+func quorumTreeFold(codec sparse.Codec, round *collective.QuorumRound, k int) (*sparse.Vector, error) {
+	m := len(round.Participants)
+	vecs := make([]*sparse.Vector, m)
+	owned := make([]bool, m)
+	defer func() {
+		for i, v := range vecs {
+			if owned[i] && v != nil {
+				sparse.PutVector(v)
+			}
+		}
+	}()
+	for i, rank := range round.Participants {
+		blob := round.Blobs[rank]
+		switch codec.WireVersion() {
+		case 1:
+			v, err := sparse.DecodeView(blob)
+			if err != nil {
+				return nil, fmt.Errorf("core: quorum frame from %d: %w", rank, err)
+			}
+			vc := v
+			vecs[i] = &vc
+		default:
+			dst := sparse.GetVector()
+			if _, err := decodeWireFrame(codec, blob, dst); err != nil {
+				sparse.PutVector(dst)
+				return nil, fmt.Errorf("core: quorum frame from %d: %w", rank, err)
+			}
+			vecs[i], owned[i] = dst, true
+		}
+	}
+	for stride := 1; stride < m; stride <<= 1 {
+		for i := 0; i+stride < m; i += 2 * stride {
+			sum := sparse.GetVector()
+			if err := sparse.AddInto(sum, vecs[i], vecs[i+stride]); err != nil {
+				sparse.PutVector(sum)
+				return nil, fmt.Errorf("core: quorum merge: %w", err)
+			}
+			dst := sparse.GetVector()
+			sparse.TopKSparseInto(dst, sum, k)
+			sparse.PutVector(sum)
+			if owned[i] {
+				sparse.PutVector(vecs[i])
+			}
+			vecs[i], owned[i] = dst, true
+		}
+	}
+	// The gathered blobs are dead once merged; recycle the pooled ones
+	// (the root's own frame came from the encoder pool, received frames
+	// follow the same receiver-recycles convention as the flat tree).
+	res := vecs[0]
+	if m == 1 && !owned[0] {
+		// Sole participant under v1: the vector still aliases its blob.
+		res = sparse.GetVector()
+		sparse.CopyInto(res, vecs[0])
+	}
+	owned[0] = false
+	vecs[0] = nil
+	for _, rank := range round.Participants {
+		sparse.PutBuffer(round.Blobs[rank])
+	}
+	return res, nil
+}
+
+// encodeVerdict serializes the round verdict: a participant-set header
+// followed by the merged global top-k in the mesh codec.
+func encodeVerdict(codec sparse.Codec, participants []int, v *sparse.Vector, scale float32, levels []int16) []byte {
+	frame := encodeSparseChunk(codec, v, 0, v.NNZ(), scale, levels)
+	buf := make([]byte, 4+4*len(participants)+len(frame))
+	binary.LittleEndian.PutUint32(buf, uint32(len(participants)))
+	for i, p := range participants {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], uint32(p))
+	}
+	copy(buf[4+4*len(participants):], frame)
+	sparse.PutBuffer(frame)
+	return buf
+}
+
+// decodeVerdict parses a verdict frame into out and returns the
+// participant set.
+func decodeVerdict(codec sparse.Codec, blob []byte, out *sparse.Vector) ([]int, error) {
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("core: verdict truncated (%d bytes)", len(blob))
+	}
+	n := int(binary.LittleEndian.Uint32(blob))
+	if n < 1 || len(blob) < 4+4*n {
+		return nil, fmt.Errorf("core: verdict header invalid (%d participants, %d bytes)", n, len(blob))
+	}
+	participants := make([]int, n)
+	for i := range participants {
+		participants[i] = int(binary.LittleEndian.Uint32(blob[4+4*i:]))
+	}
+	var scratch *sparse.Vector
+	if codec.WireVersion() != 1 {
+		scratch = sparse.GetVector()
+		defer sparse.PutVector(scratch)
+	}
+	v, err := decodeWireFrame(codec, blob[4+4*n:], scratch)
+	if err != nil {
+		return nil, err
+	}
+	sparse.CopyInto(out, &v)
+	return participants, nil
+}

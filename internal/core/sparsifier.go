@@ -112,6 +112,19 @@ func (s *Sparsifier) FoldError(indices []int32, orig, sent []float32) {
 	}
 }
 
+// Refund re-deposits whole selected values into the residual — the
+// straggler half of the quorum-round conservation argument: a rank
+// whose frame missed the round's deadline contributed nothing to the
+// aggregate, so its entire selected mass (the pre-transform values)
+// returns to the residual and rides into a later round. Call it INSTEAD
+// of FoldError+PutBack for a missed round; the applied update is built
+// purely from the other ranks' contributions.
+func (s *Sparsifier) Refund(indices []int32, values []float32) {
+	for i, idx := range indices {
+		s.residual[idx] += values[i]
+	}
+}
+
 // RestoreResidual overwrites the residual from a checkpoint.
 func (s *Sparsifier) RestoreResidual(residual []float32) error {
 	if len(residual) != s.dim {

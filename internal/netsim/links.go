@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkModel assigns per-link α-β parameters by group membership: ranks
+// are partitioned into contiguous groups of GroupSize, links within a
+// group charge the Intra model (datacenter), links crossing groups
+// charge the Inter model (WAN). This is the heterogeneous-topology
+// extension the quorum collective prices rounds with — a round that
+// closes without its WAN stragglers is charged only for the links that
+// actually carried a contribution.
+type LinkModel struct {
+	// Intra prices links between ranks of the same group.
+	Intra Model
+	// Inter prices links between ranks of different groups.
+	Inter Model
+	// GroupSize is the number of consecutive ranks per group (rank r is
+	// in group r/GroupSize).
+	GroupSize int
+}
+
+// NewLinkModel validates and builds a grouped link model.
+func NewLinkModel(intra, inter Model, groupSize int) (*LinkModel, error) {
+	if groupSize < 1 {
+		return nil, fmt.Errorf("netsim: link model group size %d out of range: need >= 1", groupSize)
+	}
+	return &LinkModel{Intra: intra, Inter: inter, GroupSize: groupSize}, nil
+}
+
+// Group returns the group index of rank r.
+func (m *LinkModel) Group(r int) int { return r / m.GroupSize }
+
+// Link returns the α-β model of the (a, b) link: Intra when both ranks
+// share a group, Inter otherwise. Links are symmetric.
+func (m *LinkModel) Link(a, b int) Model {
+	if m.Group(a) == m.Group(b) {
+		return m.Intra
+	}
+	return m.Inter
+}
+
+// PointToPoint returns the modelled transfer time of n elements over the
+// (a, b) link.
+func (m *LinkModel) PointToPoint(a, b, n int) time.Duration {
+	if a == b {
+		return 0
+	}
+	return m.Link(a, b).PointToPoint(n)
+}
+
+// QuorumGather returns the modelled time of the gather half of one
+// quorum round: the root's gather closes when the SLOWEST participating
+// link has delivered its n-element contribution, so the round charges
+// the maximum over participant→root links — stragglers outside the
+// participant set contribute nothing, which is exactly the speedup a
+// quorum buys on heterogeneous links.
+func (m *LinkModel) QuorumGather(root int, participants []int, n int) time.Duration {
+	var worst time.Duration
+	for _, p := range participants {
+		if p == root {
+			continue
+		}
+		if d := m.PointToPoint(p, root, n); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// QuorumVerdict returns the modelled time for rank to obtain the root's
+// n-element verdict broadcast: its own root→rank link for a non-root
+// rank, and the slowest outgoing link (the root is busy until its last
+// verdict send completes) for the root itself. world is the total rank
+// count the verdict fans out to.
+func (m *LinkModel) QuorumVerdict(world, root, rank, n int) time.Duration {
+	if rank != root {
+		return m.PointToPoint(root, rank, n)
+	}
+	var worst time.Duration
+	for r := 0; r < world; r++ {
+		if r == root {
+			continue
+		}
+		if d := m.PointToPoint(root, r, n); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// QuorumRound returns the modelled time of one full quorum round for
+// rank: gather (closed by the slowest participating link) followed by
+// the verdict broadcast leg that reaches this rank.
+func (m *LinkModel) QuorumRound(world, root, rank int, participants []int, gatherElems, verdictElems int) time.Duration {
+	return m.QuorumGather(root, participants, gatherElems) +
+		m.QuorumVerdict(world, root, rank, verdictElems)
+}

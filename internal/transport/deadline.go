@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDeadline is returned (wrapped) by RecvTagContext when every attempt
+// of a deadline-bounded receive expired without a matching frame.
+var ErrDeadline = errors.New("transport: recv deadline exceeded")
+
+// RetryPolicy bounds a deadline-aware receive: each attempt waits at
+// most Timeout; expired attempts back off for Backoff and re-arm, up to
+// Attempts total. Retrying the same (src, tag) receive is meaningful on
+// this transport because delayed or retransmitted frames stay queued
+// under their tag — a later attempt picks up exactly the frame the
+// earlier one missed.
+type RetryPolicy struct {
+	// Timeout is the per-attempt deadline (must be > 0).
+	Timeout time.Duration
+	// Attempts is the total number of attempts (values < 1 behave as 1).
+	Attempts int
+	// Backoff is the pause between attempts.
+	Backoff time.Duration
+}
+
+// RecvTagContext receives from (src, tag) on c under pol: the per-round
+// deadline/retry primitive quorum collectives build on. It returns the
+// payload of the first attempt that lands a frame; when all attempts
+// expire it returns an error wrapping ErrDeadline. Cancellation of ctx
+// aborts immediately with ctx's error.
+func RecvTagContext(ctx context.Context, c Conn, src, tag int, pol RetryPolicy) ([]byte, error) {
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	if pol.Timeout <= 0 {
+		return nil, fmt.Errorf("transport: recv retry: non-positive timeout %v", pol.Timeout)
+	}
+	for i := 0; i < attempts; i++ {
+		actx, cancel := context.WithTimeout(ctx, pol.Timeout)
+		payload, err := c.Recv(actx, src, tag)
+		cancel()
+		if err == nil {
+			return payload, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		if i < attempts-1 && pol.Backoff > 0 {
+			select {
+			case <-time.After(pol.Backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: no frame from rank %d tag %d after %d attempts of %v",
+		ErrDeadline, src, tag, attempts, pol.Timeout)
+}

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"gtopkssgd/internal/bench"
 	"gtopkssgd/internal/sparse"
@@ -35,12 +37,18 @@ func main() {
 		wire    = flag.String("wire", "v1", "sparse wire codec for the hotpath harness fabrics: v1, v2 or v2-fp16 (wire-codec sweeps all three regardless)")
 		shards  = flag.Int("select-shards", 0, "wire-codec experiment: override the sharded-selection sweep with {1, N} (0 keeps the default {1,2,4})")
 		hierG   = flag.Int("hier-group", 0, "hierarchy experiment: override the group-size sweep with {G} (0 keeps the default {4,8,16}; 1 is flat and therefore rejected)")
+		kernels = flag.String("kernels", sparse.DefaultKernels(), "sparse kernel implementation: fast (vectorized, where the build supports it) or pure")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
 	flag.Parse()
 
 	codec, err := sparse.ParseCodec(*wire)
 	if err != nil {
 		usageError(fmt.Errorf("-wire: %w", err))
+	}
+	if err := sparse.SetKernels(*kernels); err != nil {
+		usageError(fmt.Errorf("-kernels: %w", err))
 	}
 	if *shards < 0 {
 		usageError(fmt.Errorf("-select-shards %d out of range: need >= 0", *shards))
@@ -54,6 +62,33 @@ func main() {
 	}
 	if !*list && !*all && *expID == "" {
 		usageError(fmt.Errorf("one of -exp, -list or -all is required"))
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gtopk-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gtopk-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()            //nolint:errcheck // profile already flushed
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gtopk-bench:", err)
+				return
+			}
+			defer f.Close() //nolint:errcheck // nothing else to do on close failure
+			runtime.GC()    // materialize the post-run live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gtopk-bench:", err)
+			}
+		}()
 	}
 	if err := run(*expID, *list, *all, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "gtopk-bench:", err)

@@ -30,6 +30,7 @@ func TestFlagValidation(t *testing.T) {
 		{"bad-select-shards", []string{"-exp", "wire-codec", "-select-shards", "-1"}, "-select-shards -1 out of range"},
 		{"bad-hier-group-negative", []string{"-exp", "hierarchy", "-hier-group", "-3"}, "-hier-group -3 out of range"},
 		{"bad-hier-group-one", []string{"-exp", "hierarchy", "-hier-group", "1"}, "-hier-group 1 out of range"},
+		{"bad-kernels", []string{"-exp", "hotpath", "-kernels", "bogus"}, `-kernels: sparse: unknown kernel mode "bogus"`},
 		{"unknown-flag", []string{"-frobnicate"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -93,5 +94,14 @@ func TestListEnumeratesExperiments(t *testing.T) {
 		if !strings.Contains(res.Stdout, id) {
 			t.Fatalf("-list output missing %q:\n%s", id, res.Stdout)
 		}
+	}
+}
+
+// TestKernelsPureAccepted: -kernels pure is a valid mode on every build
+// (the portable reference kernels are always compiled in).
+func TestKernelsPureAccepted(t *testing.T) {
+	res := clitest.Run(t, "-kernels", "pure", "-list")
+	if res.Code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", res.Code, res.Stderr)
 	}
 }

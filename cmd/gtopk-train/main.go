@@ -43,10 +43,16 @@ func main() {
 		valueCdc  = flag.String("value-codec", "", "compound value codec (fp32|fp16|qsgd8|qsgd4|qsgd2|ternary|sign); requires -wire v3")
 		quorum    = flag.Int("quorum", 0, "straggler-tolerant quorum size q: rounds close after q of -workers contributions under the -round-timeout deadline (0 disables; requires -algo gtopk and a strict majority q > workers/2)")
 		roundTO   = flag.Duration("round-timeout", 0, "per-round gather deadline for -quorum (must be > 0 when -quorum is set)")
+		kernels   = flag.String("kernels", sparse.DefaultKernels(), "sparse kernel implementation: fast (vectorized, where the build supports it) or pure; results are bit-identical")
 	)
 	flag.Parse()
 
 	wireCodec, err := validate(*model, *algo, *workers, *batch, *epochs, *iters, *density, *lr, *evalN, *hierGroup, *wire, *valueCdc, *quorum, *roundTO)
+	if err == nil {
+		if kerr := sparse.SetKernels(*kernels); kerr != nil {
+			err = fmt.Errorf("-kernels: %w", kerr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gtopk-train: %v\n\n", err)
 		flag.Usage()

@@ -43,6 +43,7 @@ func TestFlagValidation(t *testing.T) {
 		{"quorum-needs-timeout", []string{"-workers", "4", "-quorum", "3"}, "-quorum requires -round-timeout > 0"},
 		{"zero-round-timeout", []string{"-workers", "4", "-quorum", "3", "-round-timeout", "0s"}, "-quorum requires -round-timeout > 0"},
 		{"round-timeout-needs-quorum", []string{"-round-timeout", "50ms"}, "-round-timeout requires -quorum"},
+		{"bad-kernels", []string{"-kernels", "bogus"}, `-kernels: sparse: unknown kernel mode "bogus"`},
 		{"unknown-flag", []string{"-warp-speed"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {

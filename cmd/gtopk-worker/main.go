@@ -83,6 +83,7 @@ type options struct {
 	hierGroup    int
 	quorum       int
 	roundTimeout time.Duration
+	kernels      string
 
 	// wireCodec is the parsed -wire flag (with -value-codec folded in).
 	wireCodec sparse.Codec
@@ -123,6 +124,7 @@ func main() {
 	flag.IntVar(&o.hierGroup, "hier-group", 0, "hierarchical gTop-k group size G: workers aggregate within groups of G, leaders exchange globally (0 disables; requires -algo gtopk; G >= world degenerates to the flat tree)")
 	flag.IntVar(&o.quorum, "quorum", 0, "straggler-tolerant quorum size q: each aggregation round closes after q of world contributions under the -round-timeout deadline, refunding stragglers' blocks to their residuals (0 disables; requires -algo gtopk, a strict majority q > world/2, and no -hier-group)")
 	flag.DurationVar(&o.roundTimeout, "round-timeout", 0, "per-round gather deadline for -quorum (must be > 0 when -quorum is set)")
+	flag.StringVar(&o.kernels, "kernels", sparse.DefaultKernels(), "sparse kernel implementation: fast (vectorized, where the build supports it) or pure; results are bit-identical")
 	flag.Parse()
 
 	if err := o.validate(); err != nil {
@@ -204,6 +206,9 @@ func (o *options) validate() error {
 		}
 	} else if o.roundTimeout != 0 {
 		return fmt.Errorf("-round-timeout requires -quorum (a deadline only bounds quorum rounds)")
+	}
+	if err := sparse.SetKernels(o.kernels); err != nil {
+		return fmt.Errorf("-kernels: %w", err)
 	}
 
 	if o.coordinator != "" {

@@ -281,7 +281,7 @@ func WriteCompoundJSON(ctx context.Context, opt Options) (string, error) {
 	report, err := loadHotPathReport(path)
 	if err != nil {
 		report = &hotPathReport{
-			Schema:      "gtopk-hotpath-bench/v1",
+			Schema:      hotPathSchema,
 			GeneratedBy: "gtopk-bench -exp compound",
 			Seed:        opt.seed(),
 			Dim:         hotPathDim,
@@ -292,6 +292,8 @@ func WriteCompoundJSON(ctx context.Context, opt Options) (string, error) {
 		}
 		report.Baseline.Commit = baselineCommit
 		report.Baseline.Results = baselineHotPath
+		report.Prev.Commit = prevCommit
+		report.Prev.Results = prevHotPath
 	}
 	report.Compound = section
 	data, err := json.MarshalIndent(report, "", "  ")

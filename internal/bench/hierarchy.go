@@ -277,7 +277,7 @@ func WriteHierarchyJSON(ctx context.Context, opt Options) (string, error) {
 		// No (or unreadable) artifact: start a minimal report carrying
 		// just this section plus the environment stamp.
 		report = &hotPathReport{
-			Schema:      "gtopk-hotpath-bench/v1",
+			Schema:      hotPathSchema,
 			GeneratedBy: "gtopk-bench -exp hierarchy",
 			Seed:        opt.seed(),
 			Dim:         hotPathDim,
@@ -288,6 +288,8 @@ func WriteHierarchyJSON(ctx context.Context, opt Options) (string, error) {
 		}
 		report.Baseline.Commit = baselineCommit
 		report.Baseline.Results = baselineHotPath
+		report.Prev.Commit = prevCommit
+		report.Prev.Results = prevHotPath
 	}
 	report.Hierarchy = section
 	data, err := json.MarshalIndent(report, "", "  ")

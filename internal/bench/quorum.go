@@ -270,7 +270,7 @@ func WriteQuorumJSON(ctx context.Context, opt Options) (string, error) {
 		// No (or unreadable) artifact: start a minimal report carrying
 		// just this section plus the environment stamp.
 		report = &hotPathReport{
-			Schema:      "gtopk-hotpath-bench/v1",
+			Schema:      hotPathSchema,
 			GeneratedBy: "gtopk-bench -exp quorum",
 			Seed:        opt.seed(),
 			Dim:         hotPathDim,
@@ -281,6 +281,8 @@ func WriteQuorumJSON(ctx context.Context, opt Options) (string, error) {
 		}
 		report.Baseline.Commit = baselineCommit
 		report.Baseline.Results = baselineHotPath
+		report.Prev.Commit = prevCommit
+		report.Prev.Results = prevHotPath
 	}
 	report.Quorum = section
 	data, err := json.MarshalIndent(report, "", "  ")

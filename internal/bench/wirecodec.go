@@ -342,7 +342,7 @@ func WriteWireCodecJSON(ctx context.Context, opt Options) (string, error) {
 		// No (or unreadable) artifact: start a minimal report carrying
 		// just this section plus the environment stamp.
 		report = &hotPathReport{
-			Schema:      "gtopk-hotpath-bench/v1",
+			Schema:      hotPathSchema,
 			GeneratedBy: "gtopk-bench -exp wire-codec",
 			Seed:        opt.seed(),
 			Dim:         hotPathDim,
@@ -353,6 +353,8 @@ func WriteWireCodecJSON(ctx context.Context, opt Options) (string, error) {
 		}
 		report.Baseline.Commit = baselineCommit
 		report.Baseline.Results = baselineHotPath
+		report.Prev.Commit = prevCommit
+		report.Prev.Results = prevHotPath
 	}
 	report.WireCodec = section
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -4,11 +4,22 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"gtopkssgd/internal/collective"
 	"gtopkssgd/internal/f16"
 	"gtopkssgd/internal/sparse"
 )
+
+// iovecPool recycles the frame-pointer slices (iovecs) the chunked send
+// paths assemble for vectored sends, keeping the steady-state tree phase
+// allocation-free. Slices returned to the pool must have every element
+// nilled first — the frames they pointed at were relinquished to the
+// fabric or the buffer pool, and a pooled iovec must not pin them.
+var iovecPool = sync.Pool{New: func() any {
+	s := make([][]byte, 0, DefaultChunks)
+	return &s
+}}
 
 // TopKAllReduce aggregates per-worker sparse top-k gradients with the
 // AllGather method of Algorithm 1 (lines 12-21), the baseline the paper
@@ -206,16 +217,20 @@ func GTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local *spars
 	for 1<<rounds < p {
 		rounds++
 	}
-	// Pooled scratch: cur ping-pongs across rounds, sum ping-pongs across
-	// the chunks of one round. cur starts as a read-only view of the
-	// caller's local vector.
+	// Pooled scratch: cur ping-pongs across rounds; sum holds one round's
+	// union merge; catScratch (allocated lazily, multi-chunk rounds only)
+	// reassembles a partner's chunk frames. cur starts as a read-only
+	// view of the caller's local vector.
 	curBuf := [2]*sparse.Vector{sparse.GetVector(), sparse.GetVector()}
-	sumBuf := [2]*sparse.Vector{sparse.GetVector(), sparse.GetVector()}
+	sum := sparse.GetVector()
+	var catScratch *sparse.Vector
 	defer func() {
 		sparse.PutVector(curBuf[0])
 		sparse.PutVector(curBuf[1])
-		sparse.PutVector(sumBuf[0])
-		sparse.PutVector(sumBuf[1])
+		sparse.PutVector(sum)
+		if catScratch != nil {
+			sparse.PutVector(catScratch)
+		}
 	}()
 	cur := local
 	ci := 0
@@ -239,32 +254,55 @@ func GTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local *spars
 		switch {
 		case r%group == 0 && r+stride < p:
 			// Receiver: partner r+stride streams its live vector as chunk
-			// frames; each is added into the running sum the moment it
-			// lands (overlapping the partner's next chunk send), and the
-			// top-k re-selection runs once after the last chunk. The
-			// sequential per-index adds make the result bit-identical to
-			// an unchunked merge.
-			running, si := cur, 0
+			// frames. Since the vectored sender flushes all of a round's
+			// chunks together, chunk-granular folding would re-scan the
+			// running sum once per chunk for no overlap gain; instead the
+			// chunks — contiguous ascending entry spans — are reassembled
+			// into the peer vector with cheap appends and folded with ONE
+			// union merge plus one top-k re-selection. Every output index
+			// still receives exactly the same (running, peer) value pair,
+			// so the result stays bit-identical to per-chunk folding and
+			// to the unchunked merge.
+			var peer *sparse.Vector
 			for i := 0; i < chunks; i++ {
 				blob, err := comm.RecvTag(ctx, r+stride, base+j)
 				if err != nil {
 					return fmt.Errorf("core: gtopk round %d recv: %w", j, err)
 				}
 				moved += len(blob)
-				peer, err := decodeWireFrame(codec, blob, peerScratch)
+				view, err := decodeWireFrame(codec, blob, peerScratch)
 				if err != nil {
 					return fmt.Errorf("core: gtopk round %d payload: %w", j, err)
 				}
-				err = sparse.AddInto(sumBuf[si], running, &peer)
-				// The frame is dead once added (tree receivers never
+				if chunks == 1 {
+					// Single-frame rounds merge straight off the wire view
+					// (v1) or decode scratch — no reassembly copy at all.
+					err = sparse.AddInto(sum, cur, &view)
+					sparse.PutBuffer(blob)
+					if err != nil {
+						return fmt.Errorf("core: gtopk round %d merge: %w", j, err)
+					}
+					break
+				}
+				if i == 0 {
+					if peer = catScratch; peer == nil {
+						peer = sparse.GetVector()
+						catScratch = peer
+					}
+					peer.Indices = peer.Indices[:0]
+					peer.Values = peer.Values[:0]
+				}
+				sparse.AppendEntries(peer, &view)
+				// The frame is dead once copied (tree receivers never
 				// forward it); back to the pool it goes.
 				sparse.PutBuffer(blob)
-				if err != nil {
+			}
+			if chunks > 1 {
+				if err := sparse.AddInto(sum, cur, peer); err != nil {
 					return fmt.Errorf("core: gtopk round %d merge: %w", j, err)
 				}
-				running, si = sumBuf[si], si^1
 			}
-			sparse.TopKSparseInto(curBuf[ci], running, k)
+			sparse.TopKSparseInto(curBuf[ci], sum, k)
 			cur, ci = curBuf[ci], ci^1
 		case r%group == stride:
 			// Sender: stream the live vector to r-stride in chunk frames,
@@ -313,17 +351,36 @@ func sendSparseChunks(ctx context.Context, comm *collective.Comm, codec sparse.C
 		scale, levels = transformForWire(comm, codec, v.Values)
 	}
 	nnz := v.NNZ()
+	if chunks <= 1 {
+		buf := encodeSparseChunk(codec, v, 0, nnz, scale, levels)
+		comm.TallyWire(sparse.EncodedSize(nnz), len(buf))
+		if err := comm.SendTagPooled(ctx, dst, tag, buf); err != nil {
+			return len(buf), err
+		}
+		return len(buf), nil
+	}
+	// Multi-chunk rounds assemble every frame into a pooled iovec and ship
+	// the batch with ONE vectored send: on TCP the whole round coalesces
+	// into a single flush (one syscall instead of one per chunk) while the
+	// frames stay individually addressed, so the receive side still
+	// decodes and merges chunk-granularly as each frame surfaces.
 	sent := 0
+	fp := iovecPool.Get().(*[][]byte)
+	frames := (*fp)[:0]
 	for i := 0; i < chunks; i++ {
 		lo, hi := i*nnz/chunks, (i+1)*nnz/chunks
 		buf := encodeSparseChunk(codec, v, lo, hi, scale, levels)
 		sent += len(buf)
 		comm.TallyWire(sparse.EncodedSize(hi-lo), len(buf))
-		if err := comm.SendTagPooled(ctx, dst, tag, buf); err != nil {
-			return sent, err
-		}
+		frames = append(frames, buf)
 	}
-	return sent, nil
+	err := comm.SendTagVecPooled(ctx, dst, tag, frames)
+	for i := range frames {
+		frames[i] = nil
+	}
+	*fp = frames[:0]
+	iovecPool.Put(fp)
+	return sent, err
 }
 
 // encodeSparseChunk encodes entries [lo,hi) of v under codec; quantized
@@ -371,32 +428,46 @@ func bcastSparseChunks(ctx context.Context, comm *collective.Comm, codec sparse.
 			scale, levels = transformForWire(comm, codec, cur.Values)
 		}
 		sparse.CopyInto(out, cur)
-		for i := 0; i < chunks; i++ {
+		if p > 1 {
+			// Encode the whole payload's chunk frames up front, then ship
+			// the complete list to each child with one vectored send —
+			// child-major order: one flush per child instead of one per
+			// (chunk, child) pair. Each frame is tallied once at encode
+			// time (a compression event), not per child transmission —
+			// the tally measures codec efficiency; Stats.BytesSent tracks
+			// actual transmission volume. Per-(src,dst,tag) FIFO keeps the
+			// chunks in sequence at every child, so relays still overlap
+			// forwarding chunk i with receiving chunk i+1.
 			nnz := cur.NNZ()
-			lo, hi := i*nnz/chunks, (i+1)*nnz/chunks
-			var buf []byte
+			fp := iovecPool.Get().(*[][]byte)
+			frames := (*fp)[:0]
+			for i := 0; i < chunks; i++ {
+				lo, hi := i*nnz/chunks, (i+1)*nnz/chunks
+				buf := encodeSparseChunk(codec, cur, lo, hi, scale, levels)
+				wireBytes += len(buf)
+				comm.TallyWire(sparse.EncodedSize(hi-lo), len(buf))
+				frames = append(frames, buf)
+			}
 			for j := 0; j < rounds; j++ {
 				if child := 1 << j; child < p {
-					if buf == nil {
-						buf = encodeSparseChunk(codec, cur, lo, hi, scale, levels)
-						wireBytes += len(buf)
-						// Tally once per encoded frame (compression
-						// event), not per child transmission — the tally
-						// measures codec efficiency; Stats.BytesSent
-						// tracks actual transmission volume.
-						comm.TallyWire(sparse.EncodedSize(hi-lo), len(buf))
-					}
-					if err := comm.SendTag(ctx, child, base+j, buf); err != nil {
+					if err := comm.SendTagVec(ctx, child, base+j, frames); err != nil {
 						return fmt.Errorf("core: gtopk bcast send: %w", err)
 					}
 				}
 			}
-			// All children received (or aliased, in-process) this frame;
+			// All children received (or aliased, in-process) every frame;
 			// recycling is safe only where plain sends consume the
 			// payload before returning.
-			if buf != nil && comm.SendConsumedOnReturn() {
-				sparse.PutBuffer(buf)
+			if comm.SendConsumedOnReturn() {
+				for _, buf := range frames {
+					sparse.PutBuffer(buf)
+				}
 			}
+			for i := range frames {
+				frames[i] = nil
+			}
+			*fp = frames[:0]
+			iovecPool.Put(fp)
 		}
 	} else if p > 1 {
 		recvRound = bits.Len(uint(r)) - 1 // 2^recvRound <= r < 2^(recvRound+1)

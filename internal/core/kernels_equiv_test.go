@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gtopkssgd/internal/prng"
+	"gtopkssgd/internal/sparse"
+)
+
+// TestSparsifierResidualTrajectoryKernelEquiv pins the error-feedback
+// loop — the state that actually compounds across training iterations —
+// bit-identical between kernel modes: a Sparsifier driven through many
+// Select/PutBack rounds under fast kernels must trace the exact same
+// residual bits and selections as one driven under pure kernels.
+func TestSparsifierResidualTrajectoryKernelEquiv(t *testing.T) {
+	if !sparse.FastKernelsAvailable() {
+		t.Skip("fast kernels unavailable in this build")
+	}
+	const (
+		dim   = 4096
+		k     = 40
+		steps = 60
+	)
+	type step struct {
+		indices  []int32
+		values   []uint32
+		residual []uint32
+	}
+	trajectory := func(mode string) []step {
+		t.Helper()
+		if err := sparse.SetKernels(mode); err != nil {
+			t.Fatal(err)
+		}
+		s := NewSparsifier(dim)
+		src := prng.New(1234)
+		grad := make([]float32, dim)
+		out := make([]step, 0, steps)
+		for it := 0; it < steps; it++ {
+			for i := range grad {
+				grad[i] = float32(src.NormFloat64())
+			}
+			sel, err := s.Select(grad, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pretend the global round kept every other selected entry;
+			// the rest re-enters the residual through PutBack.
+			var global []int32
+			for i := 0; i < sel.NNZ(); i += 2 {
+				global = append(global, sel.Indices[i])
+			}
+			s.PutBack(sel, global)
+			st := step{
+				indices:  append([]int32(nil), sel.Indices...),
+				values:   make([]uint32, sel.NNZ()),
+				residual: make([]uint32, dim),
+			}
+			for i, v := range sel.Values {
+				st.values[i] = math.Float32bits(v)
+			}
+			for i, v := range s.Residual() {
+				st.residual[i] = math.Float32bits(v)
+			}
+			out = append(out, st)
+		}
+		return out
+	}
+	prev := sparse.Kernels()
+	defer func() {
+		if err := sparse.SetKernels(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	pure := trajectory(sparse.KernelsPure)
+	fast := trajectory(sparse.KernelsFast)
+	for it := range pure {
+		p, f := pure[it], fast[it]
+		if len(p.indices) != len(f.indices) {
+			t.Fatalf("step %d: selection nnz %d (pure) vs %d (fast)", it, len(p.indices), len(f.indices))
+		}
+		for i := range p.indices {
+			if p.indices[i] != f.indices[i] || p.values[i] != f.values[i] {
+				t.Fatalf("step %d: selection entry %d differs between kernel modes", it, i)
+			}
+		}
+		for i := range p.residual {
+			if p.residual[i] != f.residual[i] {
+				t.Fatalf("step %d: residual[%d] = %x (pure) vs %x (fast)", it, i, p.residual[i], f.residual[i])
+			}
+		}
+	}
+}

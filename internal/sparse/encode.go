@@ -72,15 +72,7 @@ func encodeParts(buf []byte, dim int, indices []int32, values []float32) []byte 
 	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(dim))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(indices)))
-	off := headerBytes
-	for _, idx := range indices {
-		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(idx))
-		off += 4
-	}
-	for _, val := range values {
-		binary.LittleEndian.PutUint32(buf[off:off+4], math.Float32bits(val))
-		off += 4
-	}
+	putWords(buf[headerBytes:], indices, values)
 	return buf
 }
 

@@ -44,28 +44,7 @@ func AddInto(dst, a, b *Vector) error {
 	}
 	ensureVec(dst, len(a.Indices)+len(b.Indices))
 	dst.Dim = a.Dim
-	i, j, o := 0, 0, 0
-	for i < len(a.Indices) && j < len(b.Indices) {
-		switch {
-		case a.Indices[i] < b.Indices[j]:
-			dst.Indices[o] = a.Indices[i]
-			dst.Values[o] = a.Values[i]
-			i++
-		case a.Indices[i] > b.Indices[j]:
-			dst.Indices[o] = b.Indices[j]
-			dst.Values[o] = b.Values[j]
-			j++
-		default:
-			dst.Indices[o] = a.Indices[i]
-			dst.Values[o] = a.Values[i] + b.Values[j]
-			i, j = i+1, j+1
-		}
-		o++
-	}
-	o += copy(dst.Indices[o:], a.Indices[i:])
-	copy(dst.Values[o-(len(a.Indices)-i):], a.Values[i:])
-	o += copy(dst.Indices[o:], b.Indices[j:])
-	copy(dst.Values[o-(len(b.Indices)-j):], b.Values[j:])
+	o := mergeAdd(dst.Indices, dst.Values, a, b)
 	dst.Indices = dst.Indices[:o]
 	dst.Values = dst.Values[:o]
 	return nil
@@ -91,41 +70,38 @@ func TopKSparseInto(dst, v *Vector, k int) {
 	case k >= n:
 		CopyInto(dst, v)
 	default:
-		sp := getMagScratch(n)
-		mags := *sp
-		for i, val := range v.Values {
-			mags[i] = abs32(val)
+		// The radix fast path reads the signed values directly (it masks
+		// the sign bit in its own scan), pairing the k-th largest with the
+		// strict-winner count as a by-product; only the fallback — pure
+		// mode, NaNs, small n — pays for a magnitude scratch fill.
+		thr, strict, ok := selectThresholdVals(v.Values, k)
+		if !ok {
+			sp := getMagScratch(n)
+			mags := *sp
+			absInto(mags, v.Values)
+			thr, strict = selectThreshold(mags, k)
+			magScratch.Put(sp)
 		}
-		thr := selectKthLargest(mags, k)
-		magScratch.Put(sp)
-		strict := 0
-		for _, val := range v.Values {
-			if abs32(val) > thr {
-				strict++
-			}
-		}
-		tieQuota := k - strict
-		ensureVec(dst, k)
+		// One slot of emit slack for the branchless fast scan's rejected-
+		// entry stores; the result is truncated to the k winners.
+		ensureVec(dst, k+1)
 		dst.Dim = v.Dim
-		o := 0
-		for i, val := range v.Values {
-			m := abs32(val)
-			switch {
-			case m > thr:
-				dst.Indices[o] = v.Indices[i]
-				dst.Values[o] = val
-				o++
-			case m == thr && tieQuota > 0:
-				dst.Indices[o] = v.Indices[i]
-				dst.Values[o] = val
-				o++
-				tieQuota--
-			}
-			if o == k {
-				break
-			}
-		}
+		o := emitTopK(dst.Indices, dst.Values, v.Indices, v.Values, thr, k-strict, k)
+		dst.Indices = dst.Indices[:o]
+		dst.Values = dst.Values[:o]
 	}
+}
+
+// AppendEntries appends v's stored entries to dst, adopting v's
+// dimension and growing dst's capacity as needed. It is the chunk
+// reassembly primitive: a vector split into contiguous entry spans
+// (core's chunked wire frames) is reproduced exactly by appending the
+// spans back in order. Indices are not re-validated — callers append
+// spans that are disjoint and ascending by construction.
+func AppendEntries(dst, v *Vector) {
+	dst.Dim = v.Dim
+	dst.Indices = append(dst.Indices, v.Indices...)
+	dst.Values = append(dst.Values, v.Values...)
 }
 
 // MergeInto writes TopK(a+b, k) — the paper's ⊕ operator — into dst,
@@ -200,13 +176,7 @@ func (a *Accumulator) Add(v *Vector) error {
 	if v.Dim != a.dim {
 		return fmt.Errorf("%w: %d vs %d", ErrDimension, v.Dim, a.dim)
 	}
-	for i, idx := range v.Indices {
-		if !a.mark[idx] {
-			a.mark[idx] = true
-			a.touched = append(a.touched, idx)
-		}
-		a.dense[idx] += v.Values[i]
-	}
+	a.touched = scatterAdd(a.dense, a.mark, a.touched, v.Indices, v.Values)
 	return nil
 }
 

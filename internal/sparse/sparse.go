@@ -11,6 +11,7 @@ package sparse
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -45,15 +46,7 @@ func (v *Vector) Validate() error {
 	if len(v.Indices) != len(v.Values) {
 		return fmt.Errorf("sparse: %d indices but %d values", len(v.Indices), len(v.Values))
 	}
-	for i, idx := range v.Indices {
-		if idx < 0 || int(idx) >= v.Dim {
-			return fmt.Errorf("sparse: index %d out of range [0,%d)", idx, v.Dim)
-		}
-		if i > 0 && v.Indices[i-1] >= idx {
-			return fmt.Errorf("sparse: indices not strictly ascending at position %d", i)
-		}
-	}
-	return nil
+	return checkIndices(v.Indices, v.Dim)
 }
 
 // Dense scatters v into a freshly allocated dense vector.
@@ -158,35 +151,24 @@ func TopKInto(dst *Vector, x []float32, k int) {
 		dst.Values = dst.Values[:o]
 		return
 	}
-	thr := Threshold(x, k)
-	// Count strict winners so the remaining quota goes to the
-	// lowest-index entries that tie exactly at the threshold.
-	strict := 0
-	for _, v := range x {
-		if abs32(v) > thr {
-			strict++
-		}
+	// The radix fast path reads the dense values directly (it masks the
+	// sign bit in its own scan) and yields the strict-winner count as a
+	// by-product; the fallback inlines Threshold so the count comes from
+	// the same magnitude scratch (quickselect permutes it, which preserves
+	// the multiset) without recomputing any magnitudes. The remaining tie
+	// quota goes to the lowest-index entries at the threshold.
+	thr, strict, ok := selectThresholdVals(x, k)
+	if !ok {
+		sp := getMagScratch(len(x))
+		mags := *sp
+		absInto(mags, x)
+		thr, strict = selectThreshold(mags, k)
+		magScratch.Put(sp)
 	}
-	tieQuota := k - strict
-	ensureVec(dst, k)
-	o := 0
-	for i, v := range x {
-		m := abs32(v)
-		switch {
-		case m > thr:
-			dst.Indices[o] = int32(i)
-			dst.Values[o] = v
-			o++
-		case m == thr && tieQuota > 0:
-			dst.Indices[o] = int32(i)
-			dst.Values[o] = v
-			o++
-			tieQuota--
-		}
-		if o == k {
-			break
-		}
-	}
+	// One slot of emit slack: the branchless fast scan stores rejected
+	// entries into the slot one past the last winner before truncation.
+	ensureVec(dst, k+1)
+	o := emitTopK(dst.Indices, dst.Values, nil, x, thr, k-strict, k)
 	dst.Indices = dst.Indices[:o]
 	dst.Values = dst.Values[:o]
 }
@@ -226,10 +208,9 @@ func Threshold(x []float32, k int) float32 {
 	sp := getMagScratch(len(x))
 	defer magScratch.Put(sp)
 	mags := *sp
-	for i, v := range x {
-		mags[i] = abs32(v)
-	}
-	return selectKthLargest(mags, k)
+	absInto(mags, x)
+	thr, _ := selectThreshold(mags, k)
+	return thr
 }
 
 // selectKthLargest returns the k-th largest element of mags, reordering
@@ -246,13 +227,7 @@ func selectKthLargest(mags []float32, k int) float32 {
 		p := lo + int(state%uint64(hi-lo+1))
 		pivot := mags[p]
 		mags[p], mags[hi] = mags[hi], mags[p]
-		store := lo
-		for i := lo; i < hi; i++ {
-			if mags[i] > pivot {
-				mags[i], mags[store] = mags[store], mags[i]
-				store++
-			}
-		}
+		store := partitionGreater(mags, lo, hi, pivot)
 		mags[store], mags[hi] = mags[hi], mags[store]
 		switch {
 		case store == want:
@@ -266,9 +241,10 @@ func selectKthLargest(mags []float32, k int) float32 {
 	return mags[lo]
 }
 
+// abs32 is mask-abs: clearing the sign bit, branch-free, is |v| for
+// every float32 including -0 and NaN payloads — and exactly what the
+// word-batched absInto kernel does four lanes at a time, so scalar and
+// batched magnitude computations agree bit for bit.
 func abs32(v float32) float32 {
-	if v < 0 {
-		return -v
-	}
-	return v
+	return math.Float32frombits(math.Float32bits(v) &^ (1 << 31))
 }

@@ -6,24 +6,45 @@ import (
 	"sync"
 )
 
-// mailKey identifies a FIFO queue of messages by (source rank, tag).
+// mailKey identifies a message queue position by (source rank, tag).
 type mailKey struct {
 	src, tag int
 }
 
-// mailbox is one rank's incoming message store: per-(src,tag) FIFO queues
+// mailEntry is one undelivered message: its tag plus the payload.
+type mailEntry struct {
+	tag     int
+	payload []byte
+}
+
+// srcQueue is the per-source arrival queue: messages from one peer in
+// arrival order. head/entries form a dequeue window over a reusable
+// backing array — popping advances head, and the array rewinds to the
+// front whenever the queue drains, so the steady state of a pipelined
+// collective enqueues and dequeues with zero allocations (the old
+// (src,tag)-keyed map allocated a map entry and a one-element slice per
+// message, because tag claims never reuse a tag). Receivers match by
+// scanning the window for the first entry with their tag, which keeps
+// FIFO-per-(src,tag) semantics; the window stays a handful of entries
+// deep, bounded by how far one collective can run ahead.
+type srcQueue struct {
+	head    int
+	entries []mailEntry
+}
+
+// mailbox is one rank's incoming message store: per-source FIFO queues
 // guarded by a mutex/cond pair so receivers can block until a match
 // arrives. Unbounded queues model MPI's eager protocol, which is what the
 // paper's small sparse messages (2k elements) would use in practice.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[mailKey][][]byte
+	queues []srcQueue // indexed by source rank
 	closed bool
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{queues: make(map[mailKey][][]byte)}
+func newMailbox(size int) *mailbox {
+	mb := &mailbox{queues: make([]srcQueue, size)}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -34,7 +55,25 @@ func (mb *mailbox) deposit(key mailKey, payload []byte) error {
 	if mb.closed {
 		return ErrClosed
 	}
-	mb.queues[key] = append(mb.queues[key], payload)
+	q := &mb.queues[key.src]
+	q.entries = append(q.entries, mailEntry{tag: key.tag, payload: payload})
+	mb.cond.Broadcast()
+	return nil
+}
+
+// depositBatch appends a whole batch of frames to one queue under a
+// single lock acquisition and wake-up — the mailbox half of a vectored
+// send. Frame order within the batch is preserved.
+func (mb *mailbox) depositBatch(key mailKey, frames [][]byte) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	q := &mb.queues[key.src]
+	for _, payload := range frames {
+		q.entries = append(q.entries, mailEntry{tag: key.tag, payload: payload})
+	}
 	mb.cond.Broadcast()
 	return nil
 }
@@ -91,19 +130,32 @@ func (mb *mailbox) collect(ctx context.Context, key mailKey) ([]byte, error) {
 	}
 }
 
-// pop dequeues the oldest message for key; callers hold mb.mu.
+// pop dequeues the oldest message from key.src with key.tag; callers
+// hold mb.mu. Non-head matches are removed by shifting the prefix up,
+// which preserves arrival order for the remaining entries.
 func (mb *mailbox) pop(key mailKey) ([]byte, bool) {
-	q := mb.queues[key]
-	if len(q) == 0 {
-		return nil, false
+	q := &mb.queues[key.src]
+	for i := q.head; i < len(q.entries); i++ {
+		if q.entries[i].tag != key.tag {
+			continue
+		}
+		payload := q.entries[i].payload
+		if i == q.head {
+			q.entries[i] = mailEntry{}
+			q.head++
+		} else {
+			copy(q.entries[q.head+1:i+1], q.entries[q.head:i])
+			q.entries[q.head] = mailEntry{}
+			q.head++
+		}
+		if q.head == len(q.entries) {
+			// Drained: rewind the window so the backing array is reused.
+			q.entries = q.entries[:0]
+			q.head = 0
+		}
+		return payload, true
 	}
-	payload := q[0]
-	if len(q) == 1 {
-		delete(mb.queues, key)
-	} else {
-		mb.queues[key] = q[1:]
-	}
-	return payload, true
+	return nil, false
 }
 
 func (mb *mailbox) close() {
@@ -135,7 +187,7 @@ func NewInProcWire(n int, wire byte) (*InProcFabric, error) {
 	f := &InProcFabric{conns: make([]*inProcConn, n)}
 	boxes := make([]*mailbox, n)
 	for i := range boxes {
-		boxes[i] = newMailbox()
+		boxes[i] = newMailbox(n)
 	}
 	for i := range f.conns {
 		f.conns[i] = &inProcConn{rank: i, boxes: boxes, wire: normalizeWire(wire)}
@@ -163,7 +215,10 @@ type inProcConn struct {
 	wire  byte
 }
 
-var _ Conn = (*inProcConn)(nil)
+var (
+	_ Conn           = (*inProcConn)(nil)
+	_ VectoredSender = (*inProcConn)(nil)
+)
 
 func (c *inProcConn) Rank() int { return c.rank }
 func (c *inProcConn) Size() int { return len(c.boxes) }
@@ -179,6 +234,19 @@ func (c *inProcConn) Send(ctx context.Context, dst, tag int, payload []byte) err
 		return err
 	}
 	return c.boxes[dst].deposit(mailKey{src: c.rank, tag: tag}, payload)
+}
+
+// SendVec implements the VectoredSender capability: the whole batch is
+// deposited into the destination mailbox under one lock acquisition —
+// zero-copy, like Send, with the receiver aliasing the sender's slices.
+func (c *inProcConn) SendVec(ctx context.Context, dst, tag int, frames [][]byte) error {
+	if err := validatePeer(c.rank, dst, len(c.boxes)); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.boxes[dst].depositBatch(mailKey{src: c.rank, tag: tag}, frames)
 }
 
 func (c *inProcConn) Recv(ctx context.Context, src, tag int) ([]byte, error) {

@@ -86,7 +86,7 @@ func JoinMesh(ctx context.Context, cfg MeshConfig) (Conn, error) {
 		size:  n,
 		opts:  cfg.TCP,
 		peers: make([]*peerLink, n),
-		box:   newMailbox(),
+		box:   newMailbox(n),
 		wire:  normalizeWire(cfg.TCP.WireVersion),
 	}
 	if n == 1 {

@@ -41,13 +41,14 @@ func main() {
 		hierGroup = flag.Int("hier-group", 0, "gtopk-hier group size G (0 picks the default of 4)")
 		wire      = flag.String("wire", "", "sparse wire codec for the simulated fabric: v1, v2, v2-fp16, v3 or v3-<value> (empty keeps v1)")
 		valueCdc  = flag.String("value-codec", "", "compound value codec (fp32|fp16|qsgd8|qsgd4|qsgd2|ternary|sign); requires -wire v3")
-		quorum    = flag.Int("quorum", 0, "straggler-tolerant quorum size q: rounds close after q of -workers contributions under the -round-timeout deadline (0 disables; requires -algo gtopk and a strict majority q > workers/2)")
-		roundTO   = flag.Duration("round-timeout", 0, "per-round gather deadline for -quorum (must be > 0 when -quorum is set)")
+		quorum    = flag.Int("quorum", 0, "straggler-tolerant quorum size q: rounds close after q contributions under the -round-timeout deadline (0 disables; requires -algo gtopk or gtopk-hier and a strict majority; under gtopk-hier, q is the intra-group quorum q_g)")
+		leaderQ   = flag.Int("leader-quorum", 0, "hierarchical quorum's leader-level quorum q_l over the group aggregates (0 = every group; requires -quorum and -algo gtopk-hier)")
+		roundTO   = flag.Duration("round-timeout", 0, "per-round gather deadline for -quorum (must be > 0 when -quorum is set; under gtopk-hier the budget splits 1/4:1/2:1/4 across the intra, leader and broadcast levels)")
 		kernels   = flag.String("kernels", sparse.DefaultKernels(), "sparse kernel implementation: fast (vectorized, where the build supports it) or pure; results are bit-identical")
 	)
 	flag.Parse()
 
-	wireCodec, err := validate(*model, *algo, *workers, *batch, *epochs, *iters, *density, *lr, *evalN, *hierGroup, *wire, *valueCdc, *quorum, *roundTO)
+	wireCodec, err := validate(*model, *algo, *workers, *batch, *epochs, *iters, *density, *lr, *evalN, *hierGroup, *wire, *valueCdc, *quorum, *leaderQ, *roundTO)
 	if err == nil {
 		if kerr := sparse.SetKernels(*kernels); kerr != nil {
 			err = fmt.Errorf("-kernels: %w", kerr)
@@ -74,6 +75,7 @@ func main() {
 		HierGroup:     *hierGroup,
 		Wire:          wireCodec,
 		Quorum:        *quorum,
+		LeaderQuorum:  *leaderQ,
 		RoundTimeout:  *roundTO,
 	}
 	if *warmup {
@@ -88,7 +90,7 @@ func main() {
 // validate rejects invocation errors up front (exit 2 with usage)
 // instead of surfacing them as a late runtime failure, and resolves the
 // -wire/-value-codec pair into the TrainSpec codec (0 = v1 default).
-func validate(model, algo string, workers, batch, epochs, iters int, density, lr float64, evalN, hierGroup int, wire, valueCodec string, quorum int, roundTimeout time.Duration) (sparse.Codec, error) {
+func validate(model, algo string, workers, batch, epochs, iters int, density, lr float64, evalN, hierGroup int, wire, valueCodec string, quorum, leaderQuorum int, roundTimeout time.Duration) (sparse.Codec, error) {
 	if !slices.Contains(bench.Models(), model) {
 		return 0, fmt.Errorf("unknown -model %q (want %s)", model, strings.Join(bench.Models(), ", "))
 	}
@@ -122,13 +124,46 @@ func validate(model, algo string, workers, batch, epochs, iters int, density, lr
 	if quorum < 0 {
 		return 0, fmt.Errorf("-quorum %d out of range: need >= 0", quorum)
 	}
+	if leaderQuorum < 0 {
+		return 0, fmt.Errorf("-leader-quorum %d out of range: need >= 0", leaderQuorum)
+	}
+	if leaderQuorum > 0 && (quorum == 0 || algo != "gtopk-hier") {
+		return 0, fmt.Errorf("-leader-quorum requires -quorum and -algo gtopk-hier (the leader level only exists in the hierarchical quorum collective)")
+	}
 	if quorum > 0 {
-		if algo != "gtopk" {
-			return 0, fmt.Errorf("-quorum requires -algo gtopk (got %q): quorum rounds are the flat gTop-k collective's mode", algo)
-		}
-		if lo := core.QuorumMin(workers); quorum < lo || quorum > workers {
-			return 0, fmt.Errorf("-quorum %d out of range [%d,%d] for -workers %d (a quorum must be a strict majority)",
-				quorum, lo, workers, workers)
+		switch algo {
+		case "gtopk":
+			if lo := core.QuorumMin(workers); quorum < lo || quorum > workers {
+				return 0, fmt.Errorf("-quorum %d out of range [%d,%d] for -workers %d (a quorum must be a strict majority)",
+					quorum, lo, workers, workers)
+			}
+		case "gtopk-hier":
+			group := hierGroup
+			if group == 0 {
+				group = 4 // RunTraining's gtopk-hier default
+			}
+			if group > 1 && group < workers {
+				if lo := core.QuorumMin(group); quorum < lo || quorum > group {
+					return 0, fmt.Errorf("-quorum %d out of range [%d,%d] for groups of %d (the intra-group quorum must be a strict majority of one group)",
+						quorum, lo, group, group)
+				}
+				if leaderQuorum > 0 {
+					numGroups := (workers + group - 1) / group
+					if lo := core.QuorumMin(numGroups); leaderQuorum < lo || leaderQuorum > numGroups {
+						return 0, fmt.Errorf("-leader-quorum %d out of range [%d,%d] for %d groups", leaderQuorum, lo, numGroups, numGroups)
+					}
+				}
+			} else {
+				if leaderQuorum > 0 {
+					return 0, fmt.Errorf("group size %d does not split -workers %d into groups (it degenerates to the flat tree), so -leader-quorum does not apply", group, workers)
+				}
+				if lo := core.QuorumMin(workers); quorum < lo || quorum > workers {
+					return 0, fmt.Errorf("-quorum %d out of range [%d,%d] for -workers %d (a quorum must be a strict majority)",
+						quorum, lo, workers, workers)
+				}
+			}
+		default:
+			return 0, fmt.Errorf("-quorum requires -algo gtopk or gtopk-hier (got %q): quorum rounds are a gTop-k collective mode", algo)
 		}
 		if roundTimeout <= 0 {
 			return 0, fmt.Errorf("-quorum requires -round-timeout > 0 (got %v)", roundTimeout)

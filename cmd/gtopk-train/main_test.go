@@ -37,7 +37,11 @@ func TestFlagValidation(t *testing.T) {
 		{"hier-group-needs-hier-algo", []string{"-algo", "gtopk", "-hier-group", "4"}, "-hier-group requires -algo gtopk-hier"},
 		{"negative-quorum", []string{"-quorum", "-3"}, "-quorum -3 out of range"},
 		{"quorum-needs-gtopk", []string{"-algo", "dense", "-quorum", "3", "-round-timeout", "50ms"}, "-quorum requires -algo gtopk"},
-		{"quorum-rejects-hier-algo", []string{"-algo", "gtopk-hier", "-quorum", "3", "-round-timeout", "50ms"}, "-quorum requires -algo gtopk"},
+		{"negative-leader-quorum", []string{"-leader-quorum", "-1"}, "-leader-quorum -1 out of range"},
+		{"leader-quorum-needs-hier-algo", []string{"-algo", "gtopk", "-workers", "8", "-quorum", "5", "-leader-quorum", "3", "-round-timeout", "50ms"}, "-leader-quorum requires -quorum and -algo gtopk-hier"},
+		{"hier-quorum-below-group-majority", []string{"-algo", "gtopk-hier", "-workers", "8", "-hier-group", "4", "-quorum", "2", "-round-timeout", "50ms"}, "-quorum 2 out of range [3,4] for groups of 4"},
+		{"leader-quorum-below-majority", []string{"-algo", "gtopk-hier", "-workers", "8", "-hier-group", "2", "-quorum", "2", "-leader-quorum", "2", "-round-timeout", "50ms"}, "-leader-quorum 2 out of range [3,4] for 4 groups"},
+		{"degenerate-hier-rejects-leader-quorum", []string{"-algo", "gtopk-hier", "-workers", "4", "-hier-group", "4", "-quorum", "3", "-leader-quorum", "1", "-round-timeout", "50ms"}, "degenerates to the flat tree"},
 		{"quorum-below-majority", []string{"-workers", "4", "-quorum", "2", "-round-timeout", "50ms"}, "-quorum 2 out of range [3,4]"},
 		{"quorum-above-world", []string{"-workers", "4", "-quorum", "5", "-round-timeout", "50ms"}, "-quorum 5 out of range [3,4]"},
 		{"quorum-needs-timeout", []string{"-workers", "4", "-quorum", "3"}, "-quorum requires -round-timeout > 0"},
@@ -71,6 +75,21 @@ func TestQuorumTrainingSmoke(t *testing.T) {
 		t.Fatalf("exit %d (stderr: %s)", res.Code, res.Stderr)
 	}
 	if !strings.Contains(res.Stdout, "algo=gtopk") || !strings.Contains(res.Stdout, "epoch   1") {
+		t.Fatalf("stdout missing training output:\n%s", res.Stdout)
+	}
+}
+
+// TestHierQuorumTrainingSmoke: a tiny full-sync hierarchical quorum run
+// completes — the -quorum/-leader-quorum/-round-timeout flags reach the
+// hierarchical aggregator through TrainSpec.
+func TestHierQuorumTrainingSmoke(t *testing.T) {
+	res := clitest.Run(t, "-model", "mlp", "-algo", "gtopk-hier", "-hier-group", "2",
+		"-quorum", "2", "-leader-quorum", "2", "-round-timeout", "5s",
+		"-workers", "4", "-epochs", "1", "-iters", "2", "-batch", "2", "-density", "0.05")
+	if res.Code != 0 {
+		t.Fatalf("exit %d (stderr: %s)", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "algo=gtopk-hier") || !strings.Contains(res.Stdout, "epoch   1") {
 		t.Fatalf("stdout missing training output:\n%s", res.Stdout)
 	}
 }

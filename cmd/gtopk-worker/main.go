@@ -82,7 +82,11 @@ type options struct {
 	selectShards int
 	hierGroup    int
 	quorum       int
+	leaderQuorum int
 	roundTimeout time.Duration
+	groupTO      time.Duration
+	leaderTO     time.Duration
+	verdictTO    time.Duration
 	kernels      string
 
 	// wireCodec is the parsed -wire flag (with -value-codec folded in).
@@ -122,8 +126,12 @@ func main() {
 	flag.StringVar(&o.valueCodec, "value-codec", "", "value codec for the compound v3 pipeline: fp32, fp16, qsgd8, qsgd4, qsgd2, ternary or sign (requires -wire v3; quantization error folds into the error-feedback residual)")
 	flag.IntVar(&o.selectShards, "select-shards", 0, "parallel shards for the local top-k selection (0 = one per core, 1 = serial; results are bit-identical)")
 	flag.IntVar(&o.hierGroup, "hier-group", 0, "hierarchical gTop-k group size G: workers aggregate within groups of G, leaders exchange globally (0 disables; requires -algo gtopk; G >= world degenerates to the flat tree)")
-	flag.IntVar(&o.quorum, "quorum", 0, "straggler-tolerant quorum size q: each aggregation round closes after q of world contributions under the -round-timeout deadline, refunding stragglers' blocks to their residuals (0 disables; requires -algo gtopk, a strict majority q > world/2, and no -hier-group)")
-	flag.DurationVar(&o.roundTimeout, "round-timeout", 0, "per-round gather deadline for -quorum (must be > 0 when -quorum is set)")
+	flag.IntVar(&o.quorum, "quorum", 0, "straggler-tolerant quorum size q: each aggregation round closes after q contributions under the -round-timeout deadline, refunding stragglers' blocks to their residuals (0 disables; requires -algo gtopk and a strict majority; with -hier-group, q is the intra-group quorum q_g over each group of G)")
+	flag.IntVar(&o.leaderQuorum, "leader-quorum", 0, "hierarchical quorum's leader-level quorum q_l over the group aggregates: a wholly slow group misses the round as a unit and refunds to residual (0 = wait for every group; requires -quorum and -hier-group)")
+	flag.DurationVar(&o.roundTimeout, "round-timeout", 0, "per-round gather deadline for -quorum (must be > 0 when -quorum is set; with -hier-group it is the whole-round budget the per-level deadlines split)")
+	flag.DurationVar(&o.groupTO, "group-timeout", 0, "hierarchical quorum's intra-group gather budget (set all three level budgets or none; zero = the default 1/4:1/2:1/4 split of -round-timeout; requires -quorum and -hier-group)")
+	flag.DurationVar(&o.leaderTO, "leader-timeout", 0, "hierarchical quorum's leader-level gather budget (see -group-timeout)")
+	flag.DurationVar(&o.verdictTO, "verdict-timeout", 0, "hierarchical quorum's per-attempt verdict broadcast budget (see -group-timeout)")
 	flag.StringVar(&o.kernels, "kernels", sparse.DefaultKernels(), "sparse kernel implementation: fast (vectorized, where the build supports it) or pure; results are bit-identical")
 	flag.Parse()
 
@@ -198,14 +206,29 @@ func (o *options) validate() error {
 		if o.algo != "gtopk" {
 			return fmt.Errorf("-quorum requires -algo gtopk (quorum rounds are a gTop-k collective mode)")
 		}
-		if o.hierGroup > 0 {
-			return fmt.Errorf("-quorum conflicts with -hier-group: the quorum gather is flat (the deadline would have to nest per level)")
-		}
 		if o.roundTimeout <= 0 {
 			return fmt.Errorf("-quorum requires -round-timeout > 0 (got %v): a quorum without a deadline never closes early", o.roundTimeout)
 		}
 	} else if o.roundTimeout != 0 {
 		return fmt.Errorf("-round-timeout requires -quorum (a deadline only bounds quorum rounds)")
+	}
+	if o.leaderQuorum < 0 {
+		return fmt.Errorf("-leader-quorum %d out of range: need >= 0", o.leaderQuorum)
+	}
+	if o.leaderQuorum > 0 && (o.quorum == 0 || o.hierGroup == 0) {
+		return fmt.Errorf("-leader-quorum requires -quorum and -hier-group (the leader level only exists in the hierarchical quorum collective)")
+	}
+	if o.groupTO != 0 || o.leaderTO != 0 || o.verdictTO != 0 {
+		if o.quorum == 0 || o.hierGroup == 0 {
+			return fmt.Errorf("-group-timeout/-leader-timeout/-verdict-timeout require -quorum and -hier-group (per-level budgets only exist in the hierarchical quorum collective)")
+		}
+		if o.groupTO <= 0 || o.leaderTO <= 0 || o.verdictTO <= 0 {
+			return fmt.Errorf("per-level budgets must all be set and positive (got -group-timeout %v, -leader-timeout %v, -verdict-timeout %v; zero all three for the default 1/4:1/2:1/4 split)",
+				o.groupTO, o.leaderTO, o.verdictTO)
+		}
+		if sum := o.groupTO + o.leaderTO + o.verdictTO; sum > o.roundTimeout {
+			return fmt.Errorf("per-level budgets %v + %v + %v = %v exceed -round-timeout %v", o.groupTO, o.leaderTO, o.verdictTO, sum, o.roundTimeout)
+		}
 	}
 	if err := sparse.SetKernels(o.kernels); err != nil {
 		return fmt.Errorf("-kernels: %w", err)
@@ -254,15 +277,50 @@ func (o *options) validate() error {
 		return fmt.Errorf("-rank %d out of range [0,%d) for %d-entry -addrs", o.rank, len(addrs), len(addrs))
 	}
 	// Static mode knows the world size at parse time, so the quorum range
-	// check happens here; elastic mode defers it to Build, where the
-	// coordinator's epoch world is known (core.QuorumConfig.Validate).
+	// checks happen here; elastic mode defers them to Build, where the
+	// coordinator's epoch world is known (SetQuorum validates).
 	if o.quorum > 0 {
-		if lo, world := core.QuorumMin(len(addrs)), len(addrs); o.quorum < lo || o.quorum > world {
-			return fmt.Errorf("-quorum %d out of range [%d,%d] for %d-entry -addrs (a quorum must be a strict majority)",
-				o.quorum, lo, world, world)
+		world := len(addrs)
+		if o.hierGroup > 1 && o.hierGroup < world {
+			// Hierarchical regime: -quorum is the intra-group quorum q_g.
+			if lo := core.QuorumMin(o.hierGroup); o.quorum < lo || o.quorum > o.hierGroup {
+				return fmt.Errorf("-quorum %d out of range [%d,%d] for -hier-group %d (the intra-group quorum must be a strict majority of one group)",
+					o.quorum, lo, o.hierGroup, o.hierGroup)
+			}
+			numGroups := (world + o.hierGroup - 1) / o.hierGroup
+			if o.leaderQuorum > 0 {
+				if lo := core.QuorumMin(numGroups); o.leaderQuorum < lo || o.leaderQuorum > numGroups {
+					return fmt.Errorf("-leader-quorum %d out of range [%d,%d] for %d groups of -hier-group %d",
+						o.leaderQuorum, lo, numGroups, numGroups, o.hierGroup)
+				}
+			}
+		} else {
+			if o.leaderQuorum > 0 || o.groupTO != 0 {
+				return fmt.Errorf("-hier-group %d does not split a %d-entry -addrs world into groups (it degenerates to the flat tree), so -leader-quorum and per-level budgets do not apply",
+					o.hierGroup, world)
+			}
+			if lo := core.QuorumMin(world); o.quorum < lo || o.quorum > world {
+				return fmt.Errorf("-quorum %d out of range [%d,%d] for %d-entry -addrs (a quorum must be a strict majority)",
+					o.quorum, lo, world, world)
+			}
 		}
 	}
 	return nil
+}
+
+// quorumConfig assembles the parsed quorum flags into the core
+// configuration (zero level budgets select the default split).
+func (o *options) quorumConfig() core.QuorumConfig {
+	return core.QuorumConfig{
+		Q:       o.quorum,
+		LeaderQ: o.leaderQuorum,
+		Timeout: o.roundTimeout,
+		Levels: core.LevelTimeouts{
+			Group:     o.groupTO,
+			Leader:    o.leaderTO,
+			Broadcast: o.verdictTO,
+		},
+	}
 }
 
 // buildAggregator assembles the configured aggregation algorithm over a
@@ -297,6 +355,14 @@ func buildAggregator(o *options, comm *collective.Comm, dim int) (agg core.Aggre
 			if err != nil {
 				return nil, nil, err
 			}
+			if o.quorum > 0 {
+				// Per-level deadline budgets over the grouped topology; an
+				// illegal configuration for this world fails the epoch build
+				// loudly instead of wedging a round.
+				if err := a.SetQuorum(o.quorumConfig()); err != nil {
+					return nil, nil, err
+				}
+			}
 			sp = a.Sparsifier()
 			sp.SetShards(o.selectShards)
 			return a, sp, nil
@@ -309,7 +375,7 @@ func buildAggregator(o *options, comm *collective.Comm, dim int) (agg core.Aggre
 			// Elastic worlds first learn their size here; an illegal
 			// (quorum, world) pair fails the epoch build loudly instead of
 			// wedging a round.
-			if err := a.SetQuorum(core.QuorumConfig{Q: o.quorum, Timeout: o.roundTimeout}); err != nil {
+			if err := a.SetQuorum(o.quorumConfig()); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -373,6 +439,11 @@ func runElastic(o *options) error {
 			sess := &cluster.Session{Trainer: tr, Params: cls.Net.Parameters(), Sparsifier: sp}
 			if q, ok := agg.(interface{ QuorumMissStreak() int }); ok && o.quorum > 0 {
 				sess.QuorumMisses = q.QuorumMissStreak
+			}
+			if g, ok := agg.(interface{ QuorumGroup() int }); ok && o.quorum > 0 {
+				// Group-granular degraded telemetry: a wholly partitioned
+				// hierarchy group streaks — and reports — as a unit.
+				sess.QuorumGroup = g.QuorumGroup
 			}
 			return sess, nil
 		},

@@ -42,7 +42,14 @@ func TestFlagValidation(t *testing.T) {
 		{"hier-group-needs-gtopk", []string{"-addrs", "a:1", "-algo", "dense", "-hier-group", "4"}, "-hier-group requires -algo gtopk"},
 		{"negative-quorum", []string{"-addrs", "a:1", "-quorum", "-1"}, "-quorum -1 out of range"},
 		{"quorum-needs-gtopk", []string{"-addrs", "a:1,b:2", "-algo", "dense", "-quorum", "2", "-round-timeout", "100ms"}, "-quorum requires -algo gtopk"},
-		{"quorum-conflicts-hier", []string{"-addrs", "a:1,b:2,c:3,d:4", "-hier-group", "2", "-quorum", "3", "-round-timeout", "100ms"}, "-quorum conflicts with -hier-group"},
+		{"hier-quorum-below-group-majority", []string{"-addrs", "a:1,b:2,c:3,d:4,e:5,f:6,g:7,h:8", "-hier-group", "4", "-quorum", "2", "-round-timeout", "100ms"}, "-quorum 2 out of range [3,4] for -hier-group 4"},
+		{"hier-quorum-above-group", []string{"-addrs", "a:1,b:2,c:3,d:4,e:5,f:6,g:7,h:8", "-hier-group", "4", "-quorum", "5", "-round-timeout", "100ms"}, "-quorum 5 out of range [3,4] for -hier-group 4"},
+		{"leader-quorum-needs-hier", []string{"-addrs", "a:1,b:2,c:3,d:4", "-quorum", "3", "-leader-quorum", "2", "-round-timeout", "100ms"}, "-leader-quorum requires -quorum and -hier-group"},
+		{"leader-quorum-below-majority", []string{"-addrs", "a:1,b:2,c:3,d:4,e:5,f:6,g:7,h:8", "-hier-group", "2", "-quorum", "2", "-leader-quorum", "2", "-round-timeout", "100ms"}, "-leader-quorum 2 out of range [3,4] for 4 groups"},
+		{"level-budgets-need-hier", []string{"-addrs", "a:1,b:2,c:3,d:4", "-quorum", "3", "-round-timeout", "100ms", "-group-timeout", "20ms"}, "require -quorum and -hier-group"},
+		{"level-budgets-all-or-none", []string{"-addrs", "a:1,b:2,c:3,d:4,e:5,f:6,g:7,h:8", "-hier-group", "4", "-quorum", "3", "-round-timeout", "100ms", "-group-timeout", "20ms"}, "per-level budgets must all be set and positive"},
+		{"level-budgets-exceed-round", []string{"-addrs", "a:1,b:2,c:3,d:4,e:5,f:6,g:7,h:8", "-hier-group", "4", "-quorum", "3", "-round-timeout", "100ms", "-group-timeout", "50ms", "-leader-timeout", "50ms", "-verdict-timeout", "50ms"}, "exceed -round-timeout 100ms"},
+		{"degenerate-hier-rejects-leader-quorum", []string{"-addrs", "a:1,b:2,c:3,d:4", "-hier-group", "4", "-quorum", "3", "-leader-quorum", "3", "-round-timeout", "100ms"}, "degenerates to the flat tree"},
 		{"quorum-needs-timeout", []string{"-addrs", "a:1,b:2,c:3,d:4", "-quorum", "3"}, "-quorum requires -round-timeout > 0"},
 		{"negative-round-timeout", []string{"-addrs", "a:1,b:2,c:3,d:4", "-quorum", "3", "-round-timeout", "-1s"}, "-quorum requires -round-timeout > 0"},
 		{"round-timeout-needs-quorum", []string{"-addrs", "a:1,b:2", "-round-timeout", "100ms"}, "-round-timeout requires -quorum"},

@@ -217,4 +217,58 @@ func TestBenchArtifactSchema(t *testing.T) {
 	if !quorumWins {
 		t.Fatal("no q<P row with speedup > 1 — closing rounds without the WAN straggler must pay off")
 	}
+
+	// quorum_hier section: per-level deadline budgets at the P>=64 scale
+	// where the hierarchy crossover opens.
+	qh := report.QuorumHier
+	if qh == nil {
+		t.Fatal("quorum_hier section missing (a regeneration dropped it)")
+	}
+	if qh.P < 64 || qh.G != 4 {
+		t.Fatalf("quorum_hier committed at P=%d G=%d, want the P>=64, G=4 regime", qh.P, qh.G)
+	}
+	if qh.Dim <= 0 || qh.K < 1 || qh.Rounds < 1 || qh.NumGroups != (qh.P+qh.G-1)/qh.G ||
+		qh.SlowRank < 0 || qh.SlowRank >= qh.P || qh.SlowRank%qh.G == 0 {
+		t.Fatalf("quorum_hier workload stamp malformed (the slow rank must be a non-leader member): %+v", qh)
+	}
+	if qh.GroupMS <= 0 || qh.LeaderMS <= 0 || qh.BroadcastMS <= 0 ||
+		qh.GroupMS+qh.LeaderMS+qh.BroadcastMS > qh.TimeoutMS ||
+		qh.DelayMS <= qh.GroupMS || qh.DelayMS <= qh.LeaderMS {
+		t.Fatalf("quorum_hier budgets malformed (levels must fit the round deadline and the delay must dwarf the gather budgets): %+v", qh)
+	}
+	if qh.IntraAlphaUS <= 0 || qh.InterAlphaUS <= qh.IntraAlphaUS {
+		t.Fatalf("quorum_hier link models malformed (inter must dwarf intra): %+v", qh)
+	}
+	if len(qh.Rows) < 2 {
+		t.Fatalf("quorum_hier sweep has %d rows, want the full-sync anchor plus at least one partial row", len(qh.Rows))
+	}
+	hierAnchor, memberWin := false, false
+	for _, r := range qh.Rows {
+		if r.QG < core.QuorumMin(qh.G) || r.QG > qh.G || r.QL < core.QuorumMin(qh.NumGroups) || r.QL > qh.NumGroups ||
+			r.SimUS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("malformed quorum_hier row %+v", r)
+		}
+		if r.QG == qh.G && r.QL == qh.NumGroups {
+			if r.MissedRanks != 0 || r.MissedRounds != 0 {
+				t.Fatalf("full-sync anchor row recorded misses %+v (full sync only arrives late)", r)
+			}
+			hierAnchor = true
+			continue
+		}
+		if r.MissedRanks < 1 || r.MissedRounds != qh.Rounds {
+			t.Fatalf("partial row %+v missed %d ranks over %d/%d rounds — the %dms delay must make the straggler miss every round",
+				r, r.MissedRanks, r.MissedRounds, qh.Rounds, qh.DelayMS)
+		}
+		// The acceptance bar: excluding one WAN member must buy >= 1.5x
+		// over the full-sync hierarchical anchor.
+		if r.MissedRanks == 1 && r.Speedup >= 1.5 {
+			memberWin = true
+		}
+	}
+	if !hierAnchor {
+		t.Fatal("quorum_hier sweep lacks the full-sync (q_g=G, q_l=all) anchor row")
+	}
+	if !memberWin {
+		t.Fatal("no single-member-miss row with speedup >= 1.5 over full-sync hierarchical — the per-level budget acceptance bar")
+	}
 }

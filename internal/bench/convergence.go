@@ -57,8 +57,13 @@ type TrainSpec struct {
 	// Quorum, when > 0, runs the gtopk algorithm in straggler-tolerant
 	// quorum mode: each round closes after Quorum of Workers
 	// contributions under the RoundTimeout deadline, and a straggler's
-	// block is refunded to its residual (gtopk only).
+	// block is refunded to its residual. Under gtopk-hier, Quorum is the
+	// intra-group quorum q_g over each group of HierGroup members and
+	// LeaderQuorum the leader-level quorum q_l over the group aggregates
+	// (0 waits for every group); the RoundTimeout budget splits across
+	// the levels per core.QuorumConfig.SplitLevels.
 	Quorum       int
+	LeaderQuorum int
 	RoundTimeout time.Duration
 	// FaultDelay, when > 0, wraps the cluster's fabric in a seeded
 	// FaultInjector that delays SlowRank's outgoing frames by FaultDelay
@@ -293,6 +298,11 @@ func buildAggregator(spec TrainSpec, comm *collective.Comm, dim int, bounds []in
 		}
 		if spec.DisablePutBack {
 			agg.SetPutBack(false)
+		}
+		if spec.Quorum > 0 {
+			if err := agg.SetQuorum(core.QuorumConfig{Q: spec.Quorum, LeaderQ: spec.LeaderQuorum, Timeout: spec.RoundTimeout}); err != nil {
+				return nil, err
+			}
 		}
 		return agg, nil
 	case "gtopk-naive":

@@ -165,6 +165,10 @@ type hotPathReport struct {
 	// Quorum is the straggler-tolerant quorum sweep maintained by the
 	// quorum experiment; the other experiments preserve it.
 	Quorum *QuorumSection `json:"quorum,omitempty"`
+	// QuorumHier is the hierarchical quorum sweep (per-level deadline
+	// budgets under a WAN straggler) maintained by the quorum_hier
+	// experiment; the other experiments preserve it.
+	QuorumHier *QuorumHierSection `json:"quorum_hier,omitempty"`
 }
 
 // loadHotPathReport parses an existing BENCH_gtopk.json so one
@@ -644,6 +648,7 @@ func WriteHotPathJSON(ctx context.Context, opt Options) (string, error) {
 		report.Hierarchy = prev.Hierarchy
 		report.Compound = prev.Compound
 		report.Quorum = prev.Quorum
+		report.QuorumHier = prev.QuorumHier
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -209,6 +209,11 @@ func Experiments() []Experiment {
 			Description: "Extension: straggler-tolerant quorum gTop-k under a WAN straggler; updates BENCH_gtopk.json",
 			Run:         WriteQuorumJSON,
 		},
+		{
+			ID:          "quorum_hier",
+			Description: "Extension: hierarchical quorum with per-level deadline budgets at P=64; updates BENCH_gtopk.json",
+			Run:         WriteQuorumHierJSON,
+		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -138,6 +138,11 @@ type Coordinator struct {
 	members  map[string]*memberState
 	pending  map[string]*memberState // parked late joiners, keyed by name
 	degraded map[string]int          // degraded reports per member name, across epochs
+	// degradedGroups counts degraded reports per hierarchy group index:
+	// under the hierarchical quorum a partitioned group's members streak
+	// together, and this is where that shows up as one group-granular
+	// signal instead of G unrelated slow ranks.
+	degradedGroups map[int]int
 	epoch    uint64
 	started  bool
 	done     bool
@@ -163,10 +168,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	return &Coordinator{
 		cfg:      full,
-		members:  make(map[string]*memberState, cfg.World),
-		pending:  make(map[string]*memberState),
-		degraded: make(map[string]int),
-		finished: make(chan struct{}),
+		members:        make(map[string]*memberState, cfg.World),
+		pending:        make(map[string]*memberState),
+		degraded:       make(map[string]int),
+		degradedGroups: make(map[int]int),
+		finished:       make(chan struct{}),
 	}, nil
 }
 
@@ -183,19 +189,40 @@ func (c *Coordinator) Degraded() map[string]int {
 	return out
 }
 
+// DegradedGroups returns a copy of the per-group degraded-report
+// counters: how many degraded reports arrived from members of each
+// hierarchy group (flat-quorum reports carry no group and are not
+// counted here).
+func (c *Coordinator) DegradedGroups() map[int]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int, len(c.degradedGroups))
+	for g, n := range c.degradedGroups {
+		out[g] = n
+	}
+	return out
+}
+
 // noteDegraded records a member's degraded report. Deliberately NOT a
 // membership event: the worker is alive (it just told us so), merely
 // slow, and quorum aggregation already contains the damage — reforming
-// the epoch would trade bounded staleness for a full restart.
-func (c *Coordinator) noteDegraded(m *memberState, reason string) {
+// the epoch would trade bounded staleness for a full restart. group is
+// the reporter's hierarchy group index, negative for a flat quorum.
+func (c *Coordinator) noteDegraded(m *memberState, reason string, group int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.members[m.name] != m && c.pending[m.name] != m {
 		return // superseded zombie; the heartbeat path handles it
 	}
 	c.degraded[m.name]++
-	c.cfg.Logf("cluster: %s reports degraded (%s); %d report(s) so far, epoch unchanged",
-		m.name, reason, c.degraded[m.name])
+	if group < 0 {
+		c.cfg.Logf("cluster: %s reports degraded (%s); %d report(s) so far, epoch unchanged",
+			m.name, reason, c.degraded[m.name])
+		return
+	}
+	c.degradedGroups[group]++
+	c.cfg.Logf("cluster: %s reports degraded (%s); group %d has %d report(s), %d from this member, epoch unchanged",
+		m.name, reason, group, c.degradedGroups[group], c.degraded[m.name])
 }
 
 // Epoch returns the most recently declared epoch (0 before the job
@@ -307,7 +334,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 				return
 			}
 		case msgDegraded:
-			c.noteDegraded(m, msg.Reason)
+			c.noteDegraded(m, msg.Reason, msg.Group-1)
 		case msgLeave:
 			c.depart(m, msg.Done)
 			conn.Close() //nolint:errcheck // graceful end of control stream

@@ -131,9 +131,23 @@ func (m *Member) Err() error {
 // persistently missing quorum deadlines. Informational only: the
 // coordinator logs and counts the report without reconfiguring the job.
 func (m *Member) ReportDegraded(reason string) error {
+	return m.ReportDegradedGroup(reason, -1)
+}
+
+// ReportDegradedGroup is ReportDegraded with the reporter's hierarchy
+// group index attached (pass a negative group for a flat quorum). Under
+// the hierarchical quorum a wholly partitioned group misses the leader
+// deadline as a unit, so every member streaks — and reports — together;
+// the group index lets the coordinator aggregate those reports
+// group-granularly instead of as unrelated slow ranks.
+func (m *Member) ReportDegradedGroup(reason string, group int) error {
+	wire := 0
+	if group >= 0 {
+		wire = group + 1
+	}
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
-	return m.codec.write(&message{T: msgDegraded, Reason: reason})
+	return m.codec.write(&message{T: msgDegraded, Reason: reason, Group: wire})
 }
 
 // Leave departs gracefully. jobDone=true tells the coordinator the

@@ -46,6 +46,11 @@ type message struct {
 	Addr   string  `json:"addr,omitempty"`
 	Done   bool    `json:"done,omitempty"`
 	Reason string  `json:"reason,omitempty"`
+	// Group, on degraded messages, carries the reporter's hierarchy group
+	// index PLUS ONE (0 means "flat quorum, no group"), so group-granular
+	// telemetry — a whole partitioned group streaking together — survives
+	// the wire without a mandatory field on every other message.
+	Group  int     `json:"group,omitempty"`
 	HBMs   int64   `json:"hb_ms,omitempty"`
 	DeadMs int64   `json:"dead_ms,omitempty"`
 	// Parked marks a welcome to a late joiner: the join is accepted but

@@ -33,6 +33,12 @@ type Session struct {
 	// quorum rounds (e.g. GTopKAggregator.QuorumMissStreak). Paired with
 	// RuntimeConfig.DegradeAfter it drives degraded-rank reporting.
 	QuorumMisses func() int
+	// QuorumGroup, when non-nil, reports this rank's hierarchy group
+	// index (e.g. HierarchicalAggregator.QuorumGroup; negative for a
+	// flat quorum). Degraded reports carry it so the coordinator can
+	// aggregate a wholly-missed group's members — who streak together —
+	// as one group-granular signal.
+	QuorumGroup func() int
 }
 
 // BuildFn assembles a fresh Session for one epoch. It runs once per
@@ -382,8 +388,15 @@ func (r *runtime) trainLoop(epochCtx context.Context, conf *Config, sess *Sessio
 				// control plane is going down, which its own path handles.
 				degradedReported = true
 				reason := fmt.Sprintf("missed %d consecutive quorum rounds", streak)
+				group := -1
+				if sess.QuorumGroup != nil {
+					group = sess.QuorumGroup()
+				}
+				if group >= 0 {
+					reason = fmt.Sprintf("%s (hierarchy group %d)", reason, group)
+				}
 				r.cfg.Logf("%s: epoch %d: degraded: %s (training continues)", r.cfg.Name, conf.Epoch, reason)
-				if err := r.member.ReportDegraded(reason); err != nil {
+				if err := r.member.ReportDegradedGroup(reason, group); err != nil {
 					r.cfg.Logf("%s: degraded report failed: %v", r.cfg.Name, err)
 				}
 			case streak == 0:

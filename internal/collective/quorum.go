@@ -164,3 +164,49 @@ func (c *Comm) ChargeQuorumRound(root int, participants []int, gatherElems, verd
 	c.clock.Advance(c.model.Round(len(participants), gatherElems))
 	c.clock.Advance(c.model.Round(c.Size(), verdictElems))
 }
+
+// ChargeHierQuorumRound accounts one hierarchical quorum round — the
+// intra-group gather, the leader-level gather, and the two-hop verdict
+// relay (root→leaders, leaders→members) — on the simulated clock. With
+// an attached LinkModel each level is priced per link over the
+// PARTICIPATING links only (netsim.LinkModel.HierQuorumRound), so a
+// straggling member or a wholly partitioned group charges nothing on the
+// gather side. Without a LinkModel each level falls back to the uniform
+// model with the level's own synchronization-domain size. Every rank
+// derives participants from the root's verdict, so per-rank clocks stay
+// a pure function of the straggler schedule.
+func (c *Comm) ChargeHierQuorumRound(root, g int, participants []int, gatherElems, verdictElems int) {
+	c.stats.Rounds += 4
+	if !c.timed {
+		return
+	}
+	world := c.Size()
+	if c.links != nil {
+		c.clock.Advance(c.links.HierQuorumRound(world, g, root, c.Rank(), participants, gatherElems, verdictElems))
+		return
+	}
+	// Uniform fallback: the intra level synchronizes the largest
+	// participating group, the leader level the participating groups, and
+	// the verdict legs fan out over all ⌈P/g⌉ leaders then all g members.
+	numGroups := (world + g - 1) / g
+	perGroup := make([]int, numGroups)
+	maxIntra, partGroups := 1, 0
+	for _, p := range participants {
+		grp := p / g
+		perGroup[grp]++
+		if perGroup[grp] == 1 {
+			partGroups++
+		}
+		if perGroup[grp] > maxIntra {
+			maxIntra = perGroup[grp]
+		}
+	}
+	relay := g
+	if relay > world {
+		relay = world
+	}
+	c.clock.Advance(c.model.Round(maxIntra, gatherElems))
+	c.clock.Advance(c.model.Round(partGroups, gatherElems))
+	c.clock.Advance(c.model.Round(numGroups, verdictElems))
+	c.clock.Advance(c.model.Round(relay, verdictElems))
+}

@@ -178,6 +178,52 @@ func TestChargeQuorumRoundUniformAndLinks(t *testing.T) {
 	}
 }
 
+func TestChargeHierQuorumRoundUniformAndLinks(t *testing.T) {
+	fab, err := transport.NewInProc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close() //nolint:errcheck // in-process close never fails
+
+	model := netsim.Model{Alpha: time.Millisecond, Beta: time.Nanosecond}
+	clock := &netsim.Clock{}
+	comm := New(fab.Conn(1)).WithClock(clock, model)
+	// g=4 over world=8: group 0 contributes 3 members, group 1 contributes
+	// 2, so the uniform fallback synchronizes maxIntra=3 at the intra
+	// level, partGroups=2 at the leader level, then fans the verdict over
+	// numGroups=2 leaders and relay=g=4 members.
+	parts := []int{0, 1, 2, 4, 5}
+	comm.ChargeHierQuorumRound(0, 4, parts, 100, 200)
+	want := model.Round(3, 100) + model.Round(2, 100) + model.Round(2, 200) + model.Round(4, 200)
+	if clock.Now() != want {
+		t.Fatalf("uniform hier charge %v want %v", clock.Now(), want)
+	}
+	if comm.Stats().Rounds != 4 {
+		t.Fatalf("rounds %d want 4", comm.Stats().Rounds)
+	}
+
+	intra := netsim.Model{Alpha: time.Millisecond, Beta: time.Nanosecond}
+	inter := netsim.Model{Alpha: 40 * time.Millisecond, Beta: 10 * time.Nanosecond}
+	lm, err := netsim.NewLinkModel(intra, inter, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Reset()
+	comm.WithLinks(lm)
+	comm.ChargeHierQuorumRound(0, 4, parts, 100, 200)
+	want = lm.HierQuorumRound(8, 4, 0, 1, parts, 100, 200)
+	if clock.Now() != want {
+		t.Fatalf("link hier charge %v want %v", clock.Now(), want)
+	}
+
+	// Untimed communicators only count rounds.
+	untimed := New(fab.Conn(2))
+	untimed.ChargeHierQuorumRound(0, 4, parts, 100, 200)
+	if untimed.Stats().Rounds != 4 {
+		t.Fatalf("untimed rounds %d want 4", untimed.Stats().Rounds)
+	}
+}
+
 func TestRecvTagRetryCountsStats(t *testing.T) {
 	fab, err := transport.NewInProc(2)
 	if err != nil {

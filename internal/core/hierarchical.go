@@ -176,6 +176,13 @@ type HierarchicalAggregator struct {
 	dense     []float32
 	orig      []float32     // pre-transform value snapshot for FoldError (reused)
 	global    sparse.Vector // reused collective result (zero steady-state allocs)
+
+	// quorum, when enabled (Q > 0), replaces the full-sync collectives
+	// with the straggler-tolerant quorum variants (hierarchical in the
+	// grouped regime, flat in the degenerate one); missStreak counts this
+	// rank's consecutive missed rounds for degraded-rank reporting.
+	quorum     QuorumConfig
+	missStreak int
 }
 
 // NewHierarchicalAggregator creates a hierarchical gTop-k aggregator
@@ -243,6 +250,50 @@ func (a *HierarchicalAggregator) SetMomentumCorrection(mu float32) {
 // Sparsifier exposes the residual state for diagnostics.
 func (a *HierarchicalAggregator) Sparsifier() *Sparsifier { return a.sp }
 
+// SetQuorum enables the straggler-tolerant quorum collectives: rounds
+// close per level after the configured quorums or deadline budgets
+// (never under quorum), and a missed rank's selected mass — a straggling
+// member's, or every member's of a group that missed the leader round —
+// is refunded to its residual instead of entering the round. In the
+// grouped regime cfg.Q is the intra-group quorum and cfg.LeaderQ the
+// leader-level one; in the degenerate flat regime (group <= 1 or >=
+// world) cfg must be a flat configuration validated against the world.
+// A zero cfg disables quorum mode.
+func (a *HierarchicalAggregator) SetQuorum(cfg QuorumConfig) error {
+	if cfg == (QuorumConfig{}) {
+		a.quorum = cfg
+		return nil
+	}
+	var err error
+	if a.gc == nil {
+		err = cfg.Validate(a.comm.Size())
+	} else {
+		err = cfg.ValidateHier(a.comm.Size(), a.group)
+	}
+	if err != nil {
+		return err
+	}
+	a.quorum = cfg
+	return nil
+}
+
+// QuorumMissStreak returns how many consecutive rounds this rank's
+// contribution has missed a quorum deadline (0 when participating or
+// when quorum mode is off) — the signal the cluster runtime turns into
+// degraded-rank reports; with group-granular telemetry a whole missed
+// group shows up as every one of its members streaking together.
+func (a *HierarchicalAggregator) QuorumMissStreak() int { return a.missStreak }
+
+// QuorumGroup returns this rank's hierarchy group index in the grouped
+// regime and -1 in the degenerate flat one — the group-granular handle
+// degraded-rank telemetry attaches to its reports.
+func (a *HierarchicalAggregator) QuorumGroup() int {
+	if a.gc == nil {
+		return -1
+	}
+	return a.comm.Rank() / a.group
+}
+
 // Aggregate implements Aggregator.
 func (a *HierarchicalAggregator) Aggregate(ctx context.Context, grad []float32) ([]float32, error) {
 	if a.schedule != nil {
@@ -256,10 +307,23 @@ func (a *HierarchicalAggregator) Aggregate(ctx context.Context, grad []float32) 
 	if err != nil {
 		return nil, fmt.Errorf("core: hierarchical aggregate: %w", err)
 	}
-	a.orig = snapshotForFold(a.comm.WireCodec(), local, a.orig)
-	if a.gc == nil {
-		err = GTopKAllReduceInto(ctx, a.comm, local, a.k, ChunksFor(a.k), &a.global)
+	if a.quorum.Q > 0 {
+		// Quorum mode always snapshots the pre-transform values: a round
+		// this rank misses refunds the FULL selected mass, not just the
+		// codec error.
+		a.orig = append(a.orig[:0], local.Values...)
 	} else {
+		a.orig = snapshotForFold(a.comm.WireCodec(), local, a.orig)
+	}
+	participated := true
+	switch {
+	case a.gc == nil && a.quorum.Q > 0:
+		participated, _, err = QuorumGTopKAllReduceInto(ctx, a.comm, local, a.k, a.quorum, &a.global)
+	case a.gc == nil:
+		err = GTopKAllReduceInto(ctx, a.comm, local, a.k, ChunksFor(a.k), &a.global)
+	case a.quorum.Q > 0:
+		participated, _, err = HierQuorumGTopKAllReduceInto(ctx, a.comm, a.gc, local, a.k, a.group, a.quorum, &a.global)
+	default:
 		err = HierarchicalGTopKAllReduceInto(ctx, a.comm, a.gc, local, a.k, ChunksFor(a.k), &a.global)
 	}
 	if err != nil {
@@ -269,12 +333,26 @@ func (a *HierarchicalAggregator) Aggregate(ctx context.Context, grad []float32) 
 		foldHierStats(a.comm, a.gc)
 	}
 	global := &a.global
-	// Quantization error first, then put-back — see GTopKAggregator.
-	if a.orig != nil {
-		a.sp.FoldError(local.Indices, a.orig, local.Values)
-	}
-	if !a.noPutBack {
-		a.sp.PutBack(local, global.Indices)
+	if !participated {
+		// This rank's frame missed its level's quorum — or its whole
+		// group missed the leader level: nothing of it entered the
+		// aggregate, so the full selected mass is refunded to the
+		// residual (conservation) and put-back is skipped — the update
+		// below is built purely from the other ranks' verdict.
+		a.missStreak++
+		a.sp.Refund(local.Indices, a.orig)
+	} else {
+		a.missStreak = 0
+		// Quantization error first, then put-back — see GTopKAggregator.
+		// (In quorum mode the snapshot exists for every codec, but the
+		// fold only applies where the wire transform was lossy.)
+		codec := a.comm.WireCodec()
+		if a.orig != nil && (a.quorum.Q == 0 || (codec.WireVersion() == 3 && codec.Lossy())) {
+			a.sp.FoldError(local.Indices, a.orig, local.Values)
+		}
+		if !a.noPutBack {
+			a.sp.PutBack(local, global.Indices)
+		}
 	}
 
 	for i := range a.dense {

@@ -28,16 +28,51 @@ const quorumRoot = 0
 // may spend a full deadline gathering before it merges and sends).
 const verdictAttempts = 8
 
+// minVerdictBackoff floors the pause between verdict-receive attempts.
+// The natural backoff is a quarter of the round deadline, but test-scale
+// deadlines (nanoseconds) would truncate that to zero and turn the
+// bounded retry loop into a hot spin against the fabric.
+const minVerdictBackoff = 200 * time.Microsecond
+
+// LevelTimeouts splits one round deadline into per-level budgets for the
+// hierarchical quorum collective: the intra-group gather, the
+// leader-level gather, and the verdict broadcast each get their own
+// deadline, and the three must fit inside the round's Timeout.
+type LevelTimeouts struct {
+	// Group bounds the intra-group gather (member frames at the leader).
+	Group time.Duration
+	// Leader bounds the leader-level gather (group aggregates at rank 0).
+	Leader time.Duration
+	// Broadcast sizes each verdict-receive attempt on the way back down
+	// (the retry loop spans several attempts, so a late verdict is
+	// survived, not lost).
+	Broadcast time.Duration
+}
+
 // QuorumConfig configures the quorum gTop-k collective. The zero value
 // disables quorum mode.
 type QuorumConfig struct {
 	// Q is the number of contributions (the root's own included) that
 	// close a round; valid values are [QuorumMin(P), P]. Q = P degrades
 	// to a deadline-guarded full synchronization whose result is
-	// bit-identical to the flat tree.
+	// bit-identical to the flat tree. In the hierarchical collective Q is
+	// the intra-group quorum q_g over the G members of a group.
 	Q int
-	// Timeout is the per-round gather deadline (must be > 0).
+	// Timeout is the per-round gather deadline (must be > 0). The
+	// hierarchical collective treats it as the whole-round budget that
+	// the per-level deadlines split (see Levels and SplitLevels).
 	Timeout time.Duration
+	// LeaderQ is the hierarchical collective's leader-level quorum q_l
+	// over the ⌈P/G⌉ group aggregates; valid values are
+	// [QuorumMin(⌈P/G⌉), ⌈P/G⌉]. Zero defaults to a full leader quorum.
+	// Must be zero for the flat collective.
+	LeaderQ int
+	// Levels optionally pins the per-level deadline budgets. The zero
+	// value applies the default split policy (SplitLevels): the
+	// leader-level gather — the level that crosses the slow links — gets
+	// half the round budget, the intra gather and the broadcast a
+	// quarter each. Must be zero for the flat collective.
+	Levels LevelTimeouts
 }
 
 // QuorumMin returns the smallest legal quorum for a P-rank world:
@@ -45,7 +80,8 @@ type QuorumConfig struct {
 // the same round with different participant sets.
 func QuorumMin(p int) int { return (p+1)/2 + 1 }
 
-// Validate checks the configuration against a P-rank world.
+// Validate checks the configuration against a P-rank world for the FLAT
+// quorum collective; the hierarchical fields must be unset.
 func (qc QuorumConfig) Validate(p int) error {
 	if qc.Timeout <= 0 {
 		return fmt.Errorf("core: quorum round timeout %v out of range: need > 0", qc.Timeout)
@@ -53,7 +89,105 @@ func (qc QuorumConfig) Validate(p int) error {
 	if lo := QuorumMin(p); qc.Q < lo || qc.Q > p {
 		return fmt.Errorf("core: quorum %d out of range [%d,%d] for %d workers", qc.Q, lo, p, p)
 	}
+	if qc.LeaderQ != 0 {
+		return fmt.Errorf("core: leader quorum %d set, but the collective is flat (a leader level needs a hierarchy)", qc.LeaderQ)
+	}
+	if qc.Levels != (LevelTimeouts{}) {
+		return fmt.Errorf("core: per-level deadline budgets set, but the collective is flat (levels need a hierarchy)")
+	}
 	return nil
+}
+
+// ValidateHier checks the configuration against a P-rank world split
+// into contiguous groups of g for the hierarchical quorum collective.
+func (qc QuorumConfig) ValidateHier(p, g int) error {
+	if qc.Timeout <= 0 {
+		return fmt.Errorf("core: quorum round timeout %v out of range: need > 0", qc.Timeout)
+	}
+	if g <= 1 || g >= p {
+		return fmt.Errorf("core: hierarchical quorum group size %d out of range (1,%d)", g, p)
+	}
+	if lo := QuorumMin(g); qc.Q < lo || qc.Q > g {
+		return fmt.Errorf("core: group quorum %d out of range [%d,%d] for groups of %d", qc.Q, lo, g, g)
+	}
+	numGroups := (p + g - 1) / g
+	if qc.LeaderQ != 0 {
+		if lo := QuorumMin(numGroups); qc.LeaderQ < lo || qc.LeaderQ > numGroups {
+			return fmt.Errorf("core: leader quorum %d out of range [%d,%d] for %d groups", qc.LeaderQ, lo, numGroups, numGroups)
+		}
+	}
+	lt := qc.Levels
+	if lt != (LevelTimeouts{}) {
+		if lt.Group <= 0 || lt.Leader <= 0 || lt.Broadcast <= 0 {
+			return fmt.Errorf("core: per-level deadline budgets must all be positive (got group %v, leader %v, broadcast %v)",
+				lt.Group, lt.Leader, lt.Broadcast)
+		}
+		if sum := lt.Group + lt.Leader + lt.Broadcast; sum > qc.Timeout {
+			return fmt.Errorf("core: per-level deadline budgets %v + %v + %v = %v exceed the %v round deadline",
+				lt.Group, lt.Leader, lt.Broadcast, sum, qc.Timeout)
+		}
+	}
+	return nil
+}
+
+// SplitLevels resolves the per-level deadline budgets: explicit Levels
+// win; otherwise the round deadline splits 1/4 : 1/2 : 1/4 across
+// intra-group gather, leader gather, and broadcast. The leader level —
+// the one whose links cross groups and carry the WAN latency — gets the
+// largest slice, and the exact remainder lands on the broadcast so the
+// three budgets always sum to the round deadline.
+func (qc QuorumConfig) SplitLevels() LevelTimeouts {
+	if qc.Levels != (LevelTimeouts{}) {
+		return qc.Levels
+	}
+	group := qc.Timeout / 4
+	leader := qc.Timeout / 2
+	return LevelTimeouts{Group: group, Leader: leader, Broadcast: qc.Timeout - group - leader}
+}
+
+// leaderQuorum resolves the leader-level quorum (LeaderQ, defaulting to
+// every leader) for a world of numGroups groups.
+func (qc QuorumConfig) leaderQuorum(numGroups int) int {
+	if qc.LeaderQ > 0 {
+		return qc.LeaderQ
+	}
+	return numGroups
+}
+
+// groupQuorum clamps the configured intra-group quorum for one concrete
+// group: the tail group of a non-divisible world is smaller than g, so
+// the quorum shrinks with it but never below that group's own strict
+// majority.
+func groupQuorum(q, groupSize int) int {
+	if q > groupSize {
+		q = groupSize
+	}
+	lo := QuorumMin(groupSize)
+	if lo > groupSize {
+		// A group of 1 or 2 has no strict majority above its own size:
+		// the whole group is the quorum.
+		lo = groupSize
+	}
+	if q < lo {
+		q = lo
+	}
+	return q
+}
+
+// verdictRetryPolicy sizes the deadline-aware verdict receive: each
+// attempt spans two deadlines (the sender may spend a full deadline
+// gathering before it merges and forwards), retried with a backoff of a
+// quarter deadline clamped to minVerdictBackoff.
+func verdictRetryPolicy(deadline time.Duration) transport.RetryPolicy {
+	backoff := deadline / 4
+	if backoff < minVerdictBackoff {
+		backoff = minVerdictBackoff
+	}
+	return transport.RetryPolicy{
+		Timeout:  2 * deadline,
+		Attempts: verdictAttempts,
+		Backoff:  backoff,
+	}
 }
 
 // QuorumGTopKAllReduce wraps QuorumGTopKAllReduceInto with a fresh
@@ -105,6 +239,7 @@ func QuorumGTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local 
 
 	vtag := comm.ClaimTags(1)
 	var participants []int
+	var verdictBytes int
 	if r == quorumRoot {
 		merged, err := quorumTreeFold(codec, round, k)
 		if err != nil {
@@ -122,6 +257,8 @@ func QuorumGTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local 
 		sparse.CopyInto(out, merged)
 		verdict := encodeVerdict(codec, participants, merged, vscale, vlevels)
 		sparse.PutVector(merged)
+		verdictBytes = len(verdict)
+		comm.TallyWire(sparse.EncodedSize(out.NNZ()), len(verdict))
 		for dst := 0; dst < p; dst++ {
 			if dst == quorumRoot {
 				continue
@@ -131,46 +268,61 @@ func QuorumGTopKAllReduceInto(ctx context.Context, comm *collective.Comm, local 
 			}
 		}
 	} else {
-		pol := transport.RetryPolicy{
-			Timeout:  2 * qc.Timeout,
-			Attempts: verdictAttempts,
-			Backoff:  qc.Timeout / 4,
-		}
-		blob, err := comm.RecvTagRetry(ctx, quorumRoot, vtag, pol)
+		blob, err := comm.RecvTagRetry(ctx, quorumRoot, vtag, verdictRetryPolicy(qc.Timeout))
 		if err != nil {
 			return false, nil, fmt.Errorf("core: quorum verdict recv: %w", err)
 		}
-		participants, err = decodeVerdict(codec, blob, out)
+		verdictBytes = len(blob)
+		participants, err = decodeVerdict(codec, blob, p, out)
 		if err != nil {
 			return false, nil, fmt.Errorf("core: quorum verdict: %w", err)
 		}
 	}
 
-	participated := false
-	for _, pr := range participants {
-		if pr == r {
-			participated = true
-			break
-		}
-	}
-	var missed []int
-	if len(participants) < p {
-		missed = make([]int, 0, p-len(participants))
-		j := 0
-		for rank := 0; rank < p; rank++ {
-			if j < len(participants) && participants[j] == rank {
-				j++
-				continue
-			}
-			missed = append(missed, rank)
-		}
-	}
+	participated := rankIn(participants, r)
+	missed := missedFrom(participants, p)
 	// Both legs are charged from the verdict's participant set, so every
 	// rank's simulated clock is a pure function of the straggler
-	// schedule: modelled 2k elements per contribution on the gather, the
-	// verdict's flat-equivalent size on the broadcast.
-	comm.ChargeQuorumRound(quorumRoot, participants, 2*k, sparse.EncodedSize(out.NNZ())/4)
+	// schedule: modelled 2k elements per contribution on the gather, and
+	// on the broadcast the verdict's modelled flat size under v1 but its
+	// MEASURED encoded size under v2/v3 — the same raw-vs-compressed rule
+	// every other codec-aware leg follows, so the clock agrees with the
+	// WireTally across codecs.
+	verdictElems := sparse.EncodedSize(out.NNZ()) / 4
+	if codec.WireVersion() != 1 {
+		verdictElems = (verdictBytes + 3) / 4
+	}
+	comm.ChargeQuorumRound(quorumRoot, participants, 2*k, verdictElems)
 	return participated, missed, nil
+}
+
+// rankIn reports whether rank r is in the ascending participant set.
+func rankIn(participants []int, r int) bool {
+	for _, pr := range participants {
+		if pr == r {
+			return true
+		}
+	}
+	return false
+}
+
+// missedFrom derives the missed set — the complement of the ascending
+// participant set in [0, p) — with a sorted-merge walk (decodeVerdict
+// guarantees the sortedness the walk relies on).
+func missedFrom(participants []int, p int) []int {
+	if len(participants) >= p {
+		return nil
+	}
+	missed := make([]int, 0, p-len(participants))
+	j := 0
+	for rank := 0; rank < p; rank++ {
+		if j < len(participants) && participants[j] == rank {
+			j++
+			continue
+		}
+		missed = append(missed, rank)
+	}
+	return missed
 }
 
 // quorumTreeFold merges the gathered participant frames on the root with
@@ -211,6 +363,28 @@ func quorumTreeFold(codec sparse.Codec, round *collective.QuorumRound, k int) (*
 			vecs[i], owned[i] = dst, true
 		}
 	}
+	res, err := binomialPositionFold(vecs, owned, k)
+	if err != nil {
+		return nil, err
+	}
+	// The gathered blobs are dead once merged; recycle the pooled ones
+	// (the root's own frame came from the encoder pool, received frames
+	// follow the same receiver-recycles convention as the flat tree).
+	for _, rank := range round.Participants {
+		sparse.PutBuffer(round.Blobs[rank])
+	}
+	return res, nil
+}
+
+// binomialPositionFold runs the position-binomial ⊕ schedule over vecs
+// (participant-position order): in round j, position i with
+// i mod 2^(j+1) == 0 absorbs position i+2^j via top-k of the sum. The
+// result is always a fresh pooled vector (a sole v1 participant's
+// blob-aliasing view is copied out); absorbed intermediates stay in vecs
+// for the caller's deferred cleanup, and vecs[0] is cleared so the
+// cleanup never releases the result.
+func binomialPositionFold(vecs []*sparse.Vector, owned []bool, k int) (*sparse.Vector, error) {
+	m := len(vecs)
 	for stride := 1; stride < m; stride <<= 1 {
 		for i := 0; i+stride < m; i += 2 * stride {
 			sum := sparse.GetVector()
@@ -227,20 +401,12 @@ func quorumTreeFold(codec sparse.Codec, round *collective.QuorumRound, k int) (*
 			vecs[i], owned[i] = dst, true
 		}
 	}
-	// The gathered blobs are dead once merged; recycle the pooled ones
-	// (the root's own frame came from the encoder pool, received frames
-	// follow the same receiver-recycles convention as the flat tree).
 	res := vecs[0]
-	if m == 1 && !owned[0] {
-		// Sole participant under v1: the vector still aliases its blob.
+	if !owned[0] {
 		res = sparse.GetVector()
 		sparse.CopyInto(res, vecs[0])
 	}
-	owned[0] = false
-	vecs[0] = nil
-	for _, rank := range round.Participants {
-		sparse.PutBuffer(round.Blobs[rank])
-	}
+	vecs[0], owned[0] = nil, false
 	return res, nil
 }
 
@@ -259,18 +425,28 @@ func encodeVerdict(codec sparse.Codec, participants []int, v *sparse.Vector, sca
 }
 
 // decodeVerdict parses a verdict frame into out and returns the
-// participant set.
-func decodeVerdict(codec sparse.Codec, blob []byte, out *sparse.Vector) ([]int, error) {
+// participant set. The set must be strictly ascending ranks inside
+// [0, p) — the canonical form every encoder produces and the sorted-merge
+// missed-set derivation relies on — so a frame that violates it is
+// rejected rather than silently producing a wrong missed set.
+func decodeVerdict(codec sparse.Codec, blob []byte, p int, out *sparse.Vector) ([]int, error) {
 	if len(blob) < 4 {
 		return nil, fmt.Errorf("core: verdict truncated (%d bytes)", len(blob))
 	}
 	n := int(binary.LittleEndian.Uint32(blob))
-	if n < 1 || len(blob) < 4+4*n {
-		return nil, fmt.Errorf("core: verdict header invalid (%d participants, %d bytes)", n, len(blob))
+	if n < 1 || n > p || len(blob) < 4+4*n {
+		return nil, fmt.Errorf("core: verdict header invalid (%d participants of %d ranks, %d bytes)", n, p, len(blob))
 	}
 	participants := make([]int, n)
 	for i := range participants {
-		participants[i] = int(binary.LittleEndian.Uint32(blob[4+4*i:]))
+		r := int(binary.LittleEndian.Uint32(blob[4+4*i:]))
+		if r >= p {
+			return nil, fmt.Errorf("core: verdict participant %d out of range [0,%d)", r, p)
+		}
+		if i > 0 && r <= participants[i-1] {
+			return nil, fmt.Errorf("core: verdict participant set not strictly ascending (%d after %d)", r, participants[i-1])
+		}
+		participants[i] = r
 	}
 	var scratch *sparse.Vector
 	if codec.WireVersion() != 1 {

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"gtopkssgd/internal/sparse"
+	"gtopkssgd/internal/transport"
+)
+
+// TestVerdictRetryPolicyBackoffClamp pins the backoff floor: the natural
+// backoff is a quarter of the deadline, but sub-4ns test deadlines used
+// to truncate it to zero and turn the bounded retry loop into a hot spin
+// against the fabric.
+func TestVerdictRetryPolicyBackoffClamp(t *testing.T) {
+	for _, tc := range []struct {
+		deadline, want time.Duration
+	}{
+		{1 * time.Nanosecond, minVerdictBackoff},
+		{3 * time.Nanosecond, minVerdictBackoff},
+		{100 * time.Microsecond, minVerdictBackoff}, // /4 below the floor
+		{4 * time.Second, time.Second},              // /4 above the floor
+	} {
+		pol := verdictRetryPolicy(tc.deadline)
+		if pol.Backoff != tc.want {
+			t.Errorf("verdictRetryPolicy(%v).Backoff = %v, want %v", tc.deadline, pol.Backoff, tc.want)
+		}
+		if pol.Timeout != 2*tc.deadline || pol.Attempts != verdictAttempts {
+			t.Errorf("verdictRetryPolicy(%v) = %+v, want timeout %v attempts %d",
+				tc.deadline, pol, 2*tc.deadline, verdictAttempts)
+		}
+	}
+}
+
+// TestDecodeVerdictRejectsMalformed pins the verdict-frame hardening:
+// the missed-set derivation walks the participant list with a
+// sorted-merge pointer, so a list that is not strictly ascending inside
+// [0, P) must be rejected rather than silently yielding a wrong missed
+// set.
+func TestDecodeVerdictRejectsMalformed(t *testing.T) {
+	const p = 8
+	v := &sparse.Vector{Dim: 16, Indices: []int32{1, 5}, Values: []float32{2, -3}}
+	mk := func(participants []int) []byte {
+		return encodeVerdict(sparse.CodecV1, participants, v, 0, nil)
+	}
+
+	out := &sparse.Vector{}
+	good, err := decodeVerdict(sparse.CodecV1, mk([]int{0, 2, 3, 7}), p, out)
+	if err != nil {
+		t.Fatalf("canonical verdict rejected: %v", err)
+	}
+	if fmt.Sprint(good) != "[0 2 3 7]" {
+		t.Fatalf("participants %v", good)
+	}
+	requireBitIdentical(t, "decoded verdict payload", out, v)
+
+	cases := map[string][]byte{
+		"truncated":          mk([]int{0, 1, 2})[:3],
+		"header past buffer": mk([]int{0, 1})[:10], // claims 2 participants, room for 1
+		"duplicate":          mk([]int{0, 2, 2, 5}),
+		"descending":         mk([]int{5, 3, 1}),
+		"out of range":       mk([]int{0, 3, p}),
+	}
+	zero := mk([]int{0, 1, 2})
+	binary.LittleEndian.PutUint32(zero, 0)
+	cases["zero participants"] = zero
+	over := mk([]int{0, 1, 2})
+	binary.LittleEndian.PutUint32(over, uint32(p+1))
+	cases["more than P"] = over
+	for name, blob := range cases {
+		if _, err := decodeVerdict(sparse.CodecV1, blob, p, &sparse.Vector{}); err == nil {
+			t.Errorf("%s verdict accepted", name)
+		}
+	}
+}
+
+// TestQuorumArrivalOrderChaos floods every link with jittered delays so
+// gather arrival order is adversarial (but deterministic per seed), and
+// pins the invariants the verdict wire format promises regardless of
+// WHICH ranks make a round: the participant set is a strictly-ascending
+// quorum-or-better subset containing the root, every rank derives the
+// identical missed set, and the merge equals the serial position-fold
+// over exactly the participants — so replicas agree bit-for-bit even
+// when frames raced the deadline in shuffled orders.
+func TestQuorumArrivalOrderChaos(t *testing.T) {
+	const p, dim, k = 8, 300, 12
+	_, vecs := makeWorkerVectors(5150, p, dim, k)
+	qc := QuorumConfig{Q: QuorumMin(p), Timeout: 60 * time.Millisecond}
+
+	for _, seed := range []uint64{1, 12, 123} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inner, err := transport.NewInProc(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// All links afflicted: delays uniform in [0, 80ms] straddle the
+			// 60ms deadline, so arrival order — and the participant set —
+			// is a pure function of the seed.
+			fab := transport.NewFaultInjector(inner, transport.FaultPlan{
+				Seed: seed, Delay: 40 * time.Millisecond, Jitter: 1.0,
+			})
+			defer fab.Close() //nolint:errcheck // test fabric
+			outs, parts, missed := runQuorumWorld(t, fab, vecs, k, qc)
+
+			ref := missed[0]
+			for i := 1; i < len(ref); i++ {
+				if ref[i] <= ref[i-1] {
+					t.Fatalf("missed set not strictly ascending: %v", ref)
+				}
+			}
+			if len(ref) > p-qc.Q {
+				t.Fatalf("%d ranks missed, but the round may close with at most %d absent", len(ref), p-qc.Q)
+			}
+			var participants []*sparse.Vector
+			for r := 0; r < p; r++ {
+				isMissed := rankIn(ref, r)
+				if r == quorumRoot && isMissed {
+					t.Fatal("root reported missed from its own round")
+				}
+				if parts[r] == isMissed {
+					t.Fatalf("rank %d participated=%v but missed set is %v", r, parts[r], ref)
+				}
+				if fmt.Sprint(missed[r]) != fmt.Sprint(ref) {
+					t.Fatalf("rank %d missed=%v, rank 0 saw %v", r, missed[r], ref)
+				}
+				if !isMissed {
+					participants = append(participants, vecs[r])
+				}
+			}
+			want := serialTreeMerge(t, participants, k)
+			for r := 0; r < p; r++ {
+				requireBitIdentical(t, fmt.Sprintf("rank %d vs serial fold", r), outs[r], want)
+			}
+		})
+	}
+}

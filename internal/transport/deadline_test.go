@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRecvTagContextZeroBackoff covers the Backoff == 0 branch: attempts
+// re-arm immediately, still landing a frame that arrives mid-sequence,
+// and an all-expired sequence returns ErrDeadline after exactly the
+// attempts' worth of waiting (no hidden sleeps).
+func TestRecvTagContextZeroBackoff(t *testing.T) {
+	inner, err := NewInProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := NewFaultInjector(inner, FaultPlan{Seed: 1, Delay: 90 * time.Millisecond})
+	defer fab.Close() //nolint:errcheck // test shutdown
+
+	if err := fab.Conn(1).Send(context.Background(), 0, 7, []byte("delayed")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := RecvTagContext(context.Background(), fab.Conn(0), 1, 7,
+		RetryPolicy{Timeout: 40 * time.Millisecond, Attempts: 5})
+	if err != nil {
+		t.Fatalf("zero-backoff retry: %v", err)
+	}
+	if string(p) != "delayed" {
+		t.Fatalf("payload %q", p)
+	}
+
+	start := time.Now()
+	_, err = RecvTagContext(context.Background(), fab.Conn(0), 1, 8,
+		RetryPolicy{Timeout: 10 * time.Millisecond, Attempts: 3})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("empty link: got %v, want ErrDeadline", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("3 x 10ms zero-backoff attempts took %v", d)
+	}
+}
+
+// TestRecvTagContextCancelDuringBackoff pins the cancellation path of
+// the backoff sleep: a caller tearing down mid-backoff must get ctx's
+// error promptly instead of sleeping the pause out.
+func TestRecvTagContextCancelDuringBackoff(t *testing.T) {
+	inner, err := NewInProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close() //nolint:errcheck // test shutdown
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// First attempt expires at 20ms; cancel lands inside the 30s
+		// backoff pause that follows.
+		time.Sleep(60 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = RecvTagContext(ctx, inner.Conn(0), 1, 9,
+		RetryPolicy{Timeout: 20 * time.Millisecond, Attempts: 3, Backoff: 30 * time.Second})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v — the backoff sleep ignored ctx", d)
+	}
+}
